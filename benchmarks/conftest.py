@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Default parameters are sized for a pure-Python SAT substrate: each
+table regenerates in minutes, not the paper's testbed-hours.  Set
+``REPRO_FULL=1`` to run closer to paper scale (expect long runtimes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Carrier-circuit scale for Table 1 / Table 2 style benchmarks.
+TABLE1_SCALE = 0.25 if FULL else 0.15
+TABLE1_KEY_SIZES = (4, 8, 12) if FULL else (4, 8)
+TABLE2_SCALE = 0.5 if FULL else 0.4
+TABLE2_TIME_LIMIT = 1800.0 if FULL else 240.0
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL

@@ -1,0 +1,61 @@
+"""Benchmarks A1/A2: the design-choice ablations from DESIGN.md.
+
+A1 — splitting-input selection: the paper's fan-out-cone heuristic vs
+random/first selection (conditional-netlist size and sub-task cost).
+
+A2 — conditional-netlist synthesis: Algorithm 1's synthesis step on vs
+off (identical results, different cost).
+"""
+
+from repro.experiments.ablation_splitting import run_splitting_ablation
+from repro.experiments.ablation_synthesis import run_synthesis_ablation
+from repro.locking.lut_lock import LutModuleSpec
+
+
+def test_ablation_splitting(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_splitting_ablation(
+            circuit="c6288",
+            scale=0.3,
+            effort=3,
+            spec=LutModuleSpec.paper_scale(),
+            strategies=("fanout", "random", "first"),
+            time_limit_per_task=120.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {row.strategy: row for row in result.rows}
+    assert all(row.status == "ok" for row in result.rows)
+    # The paper's heuristic must not lose to naive selection on
+    # conditional-netlist size (its whole point).
+    assert (
+        by_name["fanout"].mean_gates_after
+        <= by_name["first"].mean_gates_after * 1.05
+    )
+    benchmark.extra_info["mean_gates"] = {
+        row.strategy: round(row.mean_gates_after, 1) for row in result.rows
+    }
+    benchmark.extra_info["max_task_s"] = {
+        row.strategy: round(row.max_seconds, 3) for row in result.rows
+    }
+
+
+def test_ablation_synthesis(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_synthesis_ablation(
+            circuit="c1355",
+            scale=0.3,
+            effort=3,
+            spec=LutModuleSpec.paper_scale(),
+            time_limit_per_task=120.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    on, off = result.rows
+    assert on.mean_gates < off.mean_gates  # synthesis shrinks instances
+    benchmark.extra_info["gates_on"] = round(on.mean_gates, 1)
+    benchmark.extra_info["gates_off"] = round(off.mean_gates, 1)
+    benchmark.extra_info["max_task_on_s"] = round(on.max_seconds, 3)
+    benchmark.extra_info["max_task_off_s"] = round(off.max_seconds, 3)

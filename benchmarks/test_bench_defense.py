@@ -1,0 +1,36 @@
+"""Benchmark D1: the multi-key countermeasure (paper's future work).
+
+Quantifies, per scheme, the two levers the multi-key attack pulls —
+sub-space key inflation and conditional-netlist shrinkage — plus the
+measured attack cost.  Expected: the entangled variant pins the
+sub-space key count at exactly 1 and removes the attack's DIP savings.
+"""
+
+from repro.experiments.defense import run_defense_experiment
+
+
+def test_defense_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_defense_experiment(
+            circuit="c1908",
+            scale=0.3,
+            key_size=5,  # within the defense's code-existence regime
+            effort=3,
+            time_limit_per_task=240.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {row.scheme: row for row in result.rows}
+    assert by_name["entangled"].subspace_keys == 1
+    assert by_name["sarlock"].subspace_keys > 1
+    assert (
+        by_name["entangled"].multikey_max_dips
+        >= by_name["sarlock"].multikey_max_dips
+    )
+    benchmark.extra_info["subspace_keys"] = {
+        name: row.subspace_keys for name, row in by_name.items()
+    }
+    benchmark.extra_info["max_dips"] = {
+        name: row.multikey_max_dips for name, row in by_name.items()
+    }

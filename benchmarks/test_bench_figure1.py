@@ -1,0 +1,54 @@
+"""Benchmark F1: regenerate Fig. 1(a) and Fig. 1(b).
+
+Fig. 1(a): the SARLock error-distribution matrix must match the paper
+cell for cell.  Fig. 1(b): two (incorrect) keys MUX-composed on the
+MSB must be CEC-equivalent to the original.
+"""
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_full(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+
+    # Fig. 1(a), cell for cell: error iff input == key != k*.
+    for i in range(8):
+        for k in range(8):
+            assert result.matrix[i][k] == ((i == k) and (k != 0b101))
+
+    # The paper's key sets for the two halves.
+    assert set(result.keys_msb0) == {0b100, 0b101, 0b110, 0b111}
+    assert set(result.keys_msb1) == {0b000, 0b001, 0b010, 0b011, 0b101}
+
+    # Fig. 1(b): composition is equivalent, even with incorrect keys.
+    assert result.composition_equivalent is True
+    assert result.incorrect_pair_equivalent is True
+
+    benchmark.extra_info["keys_msb0"] = [format(k, "03b") for k in result.keys_msb0]
+    benchmark.extra_info["incorrect_pair"] = [
+        format(k, "03b") for k in result.incorrect_pair
+    ]
+
+
+def test_figure1b_composition_only(benchmark):
+    """Just the Fig. 1(b) machinery: attack both halves + compose + CEC."""
+    from repro.core.multikey import multikey_attack
+    from repro.core.compose import verify_composition
+    from repro.experiments.figure1 import paper_example_circuit
+    from repro.locking.sarlock import sarlock_lock
+
+    original = paper_example_circuit()
+    locked = sarlock_lock(
+        original, 3, correct_key=0b101, protected_inputs=["i0", "i1", "i2"]
+    )
+
+    def run():
+        attack = multikey_attack(
+            locked, original, effort=1, splitting_inputs=["i2"]
+        )
+        return verify_composition(
+            locked, attack.splitting_inputs, attack.keys, original
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.equivalent

@@ -1,0 +1,77 @@
+"""Defender's view: evaluate locking schemes against both attack models.
+
+A designer choosing a locking scheme traditionally asks "how many DIPs
+does the SAT attack need?".  The paper argues that is the wrong
+question once multi-key attacks exist.  This example scores XOR
+locking, SARLock, Anti-SAT and LUT insertion on:
+
+* area overhead (Nangate-class cell-area estimate),
+* wrong-key output corruption (how broken is a wrong key),
+* baseline SAT-attack cost,
+* multi-key attack cost at N=3 — the paper's threat model.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.bench_circuits import iscas85_like
+from repro.core import multikey_attack
+from repro.locking import (
+    LutModuleSpec,
+    antisat_lock,
+    error_rate,
+    lut_lock,
+    sarlock_lock,
+    xor_lock,
+)
+from repro.synth import estimate_area
+
+
+def main() -> None:
+    original = iscas85_like("c880", scale=0.3)
+    base_area = estimate_area(original)
+    print(f"victim: c880-class, {original.num_gates} gates, "
+          f"{base_area:.1f} um^2\n")
+
+    schemes = {
+        "xor (|K|=16)": xor_lock(original, 16, seed=3),
+        "sarlock (|K|=8)": sarlock_lock(original, 8, seed=3),
+        "antisat (n=6)": antisat_lock(original, 6, seed=3),
+        "lut (160b)": lut_lock(original, LutModuleSpec.paper_scale(), seed=3),
+    }
+
+    header = (
+        f"{'scheme':>16} {'area +%':>8} {'corrupt':>8} "
+        f"{'base #DIP':>9} {'base t':>8} {'N=3 max t':>9} {'ratio':>7}"
+    )
+    print(header)
+    for name, locked in schemes.items():
+        overhead = 100 * (estimate_area(locked.netlist) / base_area - 1)
+        # Corruption of one representative wrong key (flip first bit).
+        wrong = locked.correct_key_int ^ 1
+        corruption = error_rate(
+            locked, original, wrong, num_samples=4096, seed=1
+        )
+        baseline = multikey_attack(
+            locked, original, effort=0, time_limit_per_task=120
+        )
+        multikey = multikey_attack(
+            locked, original, effort=3, parallel=True, time_limit_per_task=120
+        )
+        ratio = multikey.max_subtask_seconds / max(
+            baseline.max_subtask_seconds, 1e-9
+        )
+        print(
+            f"{name:>16} {overhead:>7.1f}% {corruption:>7.2%} "
+            f"{baseline.total_dips:>9} {baseline.max_subtask_seconds:>7.2f}s "
+            f"{multikey.max_subtask_seconds:>8.2f}s {ratio:>7.3f}"
+        )
+
+    print(
+        "\nReading: a low 'corrupt' value means most wrong keys barely\n"
+        "corrupt the function (point-function schemes); a ratio << 1\n"
+        "means the multi-key attack defeats the scheme's SAT resistance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of "On the One-Key Premise of Logic Locking" (DAC'24 LBR).
+
+The package provides, from the ground up:
+
+* :mod:`repro.sat` — a CDCL SAT solver (MiniSAT substitute),
+* :mod:`repro.circuit` — gate-level netlists, simulation, `.bench` I/O
+  and SAT-based equivalence checking,
+* :mod:`repro.synth` — the logic-synthesis passes used to shrink
+  conditional netlists (Design Compiler substitute),
+* :mod:`repro.locking` — SARLock, LUT-based insertion, XOR locking and
+  Anti-SAT,
+* :mod:`repro.oracle` — the black-box "working chip" oracle,
+* :mod:`repro.attacks` — the classic oracle-guided SAT attack,
+* :mod:`repro.core` — the paper's contribution: the multi-key
+  input-space-splitting attack and its MUX-based key composition,
+* :mod:`repro.bench_circuits` — ISCAS'85-class benchmark generators,
+* :mod:`repro.experiments` — runners regenerating each paper table and
+  figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

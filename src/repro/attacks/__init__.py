@@ -1,0 +1,26 @@
+"""Oracle-guided attacks on logic locking.
+
+:mod:`repro.attacks.sat_attack` is the classic SAT attack
+[Subramanyan et al., HOST'15] — the ``N = 0`` baseline of the paper's
+tables.  :mod:`repro.attacks.brute_force` enumerates the key space for
+cross-validation on small instances.
+"""
+
+from repro.attacks.appsat import AppSatResult, appsat_attack
+from repro.attacks.brute_force import brute_force_keys
+from repro.attacks.sat_attack import (
+    AttackIteration,
+    SatAttackResult,
+    sat_attack,
+    verify_key_against_oracle,
+)
+
+__all__ = [
+    "sat_attack",
+    "SatAttackResult",
+    "AttackIteration",
+    "verify_key_against_oracle",
+    "brute_force_keys",
+    "appsat_attack",
+    "AppSatResult",
+]

@@ -1,0 +1,65 @@
+"""Exhaustive key search, for cross-validating the SAT attack on
+small instances (and for enumerating *all* functionally correct keys,
+which the SAT attack does not do)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.circuit.simulator import truth_table
+from repro.locking.base import LockedCircuit
+from repro.oracle.oracle import Oracle
+
+
+def brute_force_keys(
+    locked: LockedCircuit,
+    oracle: Oracle,
+    pin: Mapping[str, bool] | None = None,
+) -> list[int]:
+    """All keys matching the oracle on every input consistent with ``pin``.
+
+    Exhaustive over both the key space and the input space; only
+    sensible when ``|I| + |K|`` is small (~20 bits).
+    """
+    num_inputs = len(locked.original_inputs)
+    if num_inputs + locked.key_size > 22:
+        raise ValueError("brute force limited to ~22 total input+key bits")
+    pin = dict(pin or {})
+    input_pos = {net: j for j, net in enumerate(locked.original_inputs)}
+
+    def consistent(pattern: int) -> bool:
+        return all(
+            ((pattern >> input_pos[net]) & 1) == int(value)
+            for net, value in pin.items()
+        )
+
+    candidate_patterns = [
+        p for p in range(1 << num_inputs) if consistent(p)
+    ]
+    golden = {
+        p: oracle.query(
+            {net: (p >> j) & 1 for j, net in enumerate(locked.original_inputs)}
+        )
+        for p in candidate_patterns
+    }
+
+    good_keys = []
+    for key in range(1 << locked.key_size):
+        keyed = locked.apply_key(key)
+        tables = truth_table(keyed)
+        pos = {net: j for j, net in enumerate(keyed.inputs)}
+        ok = True
+        for p in candidate_patterns:
+            lane = 0
+            for net, j in input_pos.items():
+                if (p >> j) & 1:
+                    lane |= 1 << pos[net]
+            if any(
+                ((tables[out] >> lane) & 1) != golden[p][out]
+                for out in keyed.outputs
+            ):
+                ok = False
+                break
+        if ok:
+            good_keys.append(key)
+    return good_keys

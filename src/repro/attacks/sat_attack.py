@@ -1,0 +1,298 @@
+"""The oracle-guided SAT attack [5], used as the paper's baseline.
+
+The attack builds a *miter*: two copies of the locked circuit share
+their primary inputs but carry independent key vectors, and a guarded
+clause asserts that some output pair differs.  Each satisfying
+assignment yields a Distinguishing Input Pattern (DIP); querying the
+oracle on the DIP and constraining both key vectors to reproduce the
+observed response eliminates at least one wrong key equivalence class.
+When the miter becomes UNSAT, any key consistent with the recorded
+I/O pairs is functionally correct on the whole (possibly pinned) input
+space.
+
+Implementation notes (all standard, all load-bearing for speed):
+
+* Only the *key-controlled* cone is duplicated; the key-independent
+  majority of the circuit is encoded once and shared by both halves.
+* Per-DIP constraint copies are built from a single-pattern simulation:
+  nets outside the key cone are substituted as constants, so each DIP
+  adds only O(cone) clauses.
+* One incremental solver carries learned clauses across iterations;
+  the miter assertion hangs off an activation literal so the final
+  key-extraction call can drop it.
+* Input pins (the multi-key attack's sub-space condition) are plain
+  unit clauses, and DIPs then automatically respect the pinned bits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.circuit.analysis import key_controlled_gates
+from repro.circuit.cnf import encode_gate
+from repro.circuit.netlist import Gate
+from repro.circuit.simulator import simulate
+from repro.locking.base import LockedCircuit, key_to_int
+from repro.oracle.oracle import Oracle
+from repro.sat.solver import Solver
+
+
+@dataclass
+class AttackIteration:
+    """One DIP-loop iteration, for per-iteration runtime reporting."""
+
+    dip: dict[str, int]
+    elapsed_seconds: float
+    conflicts: int
+
+
+@dataclass
+class SatAttackResult:
+    """Outcome of a (possibly pinned) SAT attack."""
+
+    key: dict[str, bool] | None
+    num_dips: int
+    elapsed_seconds: float
+    status: str  # "ok" | "timeout" | "dip_limit"
+    oracle_queries: int
+    pinned: dict[str, bool] = field(default_factory=dict)
+    iterations: list[AttackIteration] = field(default_factory=list)
+    solver_stats: dict[str, int] = field(default_factory=dict)
+    key_order: list[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "ok" and self.key is not None
+
+    @property
+    def key_bits(self) -> tuple[int, ...] | None:
+        if self.key is None:
+            return None
+        return tuple(int(self.key[net]) for net in self.key_order)
+
+    @property
+    def key_int(self) -> int | None:
+        bits = self.key_bits
+        return None if bits is None else key_to_int(bits)
+
+
+def sat_attack(
+    locked: LockedCircuit,
+    oracle: Oracle,
+    pin: Mapping[str, bool] | None = None,
+    time_limit: float | None = None,
+    max_dips: int | None = None,
+    record_iterations: bool = True,
+    extract_on_budget: bool = False,
+) -> SatAttackResult:
+    """Run the SAT attack on ``locked`` against ``oracle``.
+
+    Args:
+        locked: The reverse-engineered locked netlist with key ports.
+        oracle: Black-box access to the original function.
+        pin: Optional constants on primary inputs — this restricts the
+            attack to a sub-space and is exactly how the multi-key
+            attack invokes it (Algorithm 1, line 5).
+        time_limit: Wall-clock budget in seconds (None = unlimited).
+        max_dips: Iteration cap (None = unlimited).
+        record_iterations: Keep per-DIP timing (cheap; disable for
+            massive sweeps).
+        extract_on_budget: When a budget stops the DIP loop early,
+            still extract a key consistent with the DIPs seen so far
+            (an *approximate* key — AppSAT builds on this).
+
+    Returns the recovered key — correct on every input consistent with
+    ``pin`` — plus run statistics.
+    """
+    start = time.perf_counter()
+    pin = dict(pin or {})
+    netlist = locked.netlist
+    key_set = set(locked.key_inputs)
+    for net in pin:
+        if net not in netlist.inputs or net in key_set:
+            raise ValueError(f"pinned net {net!r} is not a primary input")
+
+    controlled = key_controlled_gates(netlist, locked.key_inputs)
+    topo = netlist.topological_order()
+    shared_gates = [g for g in topo if g.output not in controlled]
+    cone_gates = [g for g in topo if g.output in controlled]
+
+    solver = Solver()
+    input_vars = {
+        net: solver.new_var() for net in netlist.inputs if net not in key_set
+    }
+    key1 = {net: solver.new_var() for net in locked.key_inputs}
+    key2 = {net: solver.new_var() for net in locked.key_inputs}
+
+    # Key-independent logic, encoded once and shared by both halves.
+    shared_vars = dict(input_vars)
+    for gate in shared_gates:
+        out = solver.new_var()
+        shared_vars[gate.output] = out
+        encode_gate(
+            solver, gate.gtype, out, [_look(shared_vars, key1, src) for src in gate.inputs]
+        )
+
+    def encode_cone(key_vars: dict[str, int]) -> dict[str, int]:
+        half: dict[str, int] = {}
+        for gate in cone_gates:
+            out = solver.new_var()
+            ins = []
+            for src in gate.inputs:
+                if src in half:
+                    ins.append(half[src])
+                elif src in key_vars:
+                    ins.append(key_vars[src])
+                else:
+                    ins.append(shared_vars[src])
+            encode_gate(solver, gate.gtype, out, ins)
+            half[gate.output] = out
+        return half
+
+    half1 = encode_cone(key1)
+    half2 = encode_cone(key2)
+
+    # Miter over key-controlled outputs only; key-independent outputs
+    # cannot differ between the halves.
+    act = solver.new_var()
+    diff_vars = []
+    for po in netlist.outputs:
+        if po not in controlled:
+            continue
+        va, vb = half1[po], half2[po]
+        diff = solver.new_var()
+        solver.add_clauses(
+            [[-diff, va, vb], [-diff, -va, -vb], [diff, -va, vb], [diff, va, -vb]]
+        )
+        diff_vars.append(diff)
+    solver.add_clause([-act] + diff_vars)
+
+    for net, value in pin.items():
+        solver.add_clause([input_vars[net] if value else -input_vars[net]])
+
+    # Anchor variable for substituting simulated constants per DIP.
+    true_var = solver.new_var()
+    solver.add_clause([true_var])
+
+    zero_key = {net: 0 for net in locked.key_inputs}
+    controlled_pos = [po for po in netlist.outputs if po in controlled]
+
+    iterations: list[AttackIteration] = []
+    num_dips = 0
+    status = "ok"
+
+    while True:
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            status = "timeout"
+            break
+        if max_dips is not None and num_dips >= max_dips:
+            status = "dip_limit"
+            break
+        iter_start = time.perf_counter()
+        conflicts_before = solver.stats.conflicts
+        if not solver.solve(assumptions=[act]):
+            break  # no DIP left: key space is functionally collapsed
+
+        dip = {
+            net: int(solver.model_value(var) or 0)
+            for net, var in input_vars.items()
+        }
+        response = oracle.query(dip)
+        num_dips += 1
+
+        # Values of all key-independent nets under this DIP.
+        values = simulate(netlist, {**dip, **zero_key}, width=1)
+
+        for key_vars in (key1, key2):
+            copy_vars: dict[str, int] = {}
+            for gate in cone_gates:
+                ins = []
+                for src in gate.inputs:
+                    if src in copy_vars:
+                        ins.append(copy_vars[src])
+                    elif src in key_vars:
+                        ins.append(key_vars[src])
+                    else:  # key-independent: substitute the simulated constant
+                        ins.append(true_var if values[src] else -true_var)
+                out = solver.new_var()
+                encode_gate(solver, gate.gtype, out, ins)
+                copy_vars[gate.output] = out
+            for po in controlled_pos:
+                var = copy_vars[po]
+                solver.add_clause([var if response[po] else -var])
+
+        if record_iterations:
+            iterations.append(
+                AttackIteration(
+                    dip=dip,
+                    elapsed_seconds=time.perf_counter() - iter_start,
+                    conflicts=solver.stats.conflicts - conflicts_before,
+                )
+            )
+
+    key: dict[str, bool] | None = None
+    if status == "ok" or extract_on_budget:
+        # Any key satisfying the accumulated I/O constraints works
+        # (and is exact when the DIP loop ran to completion).
+        if solver.solve(assumptions=[-act]):
+            key = {
+                net: bool(solver.model_value(var))
+                for net, var in key1.items()
+            }
+        elif status == "ok":  # pragma: no cover - k* satisfies everything
+            status = "no_key"
+
+    return SatAttackResult(
+        key=key,
+        num_dips=num_dips,
+        elapsed_seconds=time.perf_counter() - start,
+        status=status,
+        oracle_queries=oracle.query_count,
+        pinned=pin,
+        iterations=iterations,
+        solver_stats=solver.stats.as_dict(),
+        key_order=list(locked.key_inputs),
+    )
+
+
+def _look(shared: dict[str, int], keys: dict[str, int], net: str) -> int:
+    """Variable of a net feeding the shared region (never key-driven)."""
+    var = shared.get(net)
+    if var is None:
+        raise KeyError(
+            f"net {net!r} feeds key-independent logic but is not shared "
+            "(is a key input wired outside its cone?)"
+        )
+    return var
+
+
+def verify_key_against_oracle(
+    locked: LockedCircuit,
+    key: Mapping[str, bool] | int,
+    oracle: Oracle,
+    num_samples: int = 64,
+    seed: int = 0,
+    pin: Mapping[str, bool] | None = None,
+) -> bool:
+    """Attacker-side sanity check: keyed circuit vs oracle on random inputs.
+
+    The attacker has no golden netlist, so full CEC is impossible for
+    them; random differential testing against the oracle is the
+    realistic check.  ``pin`` restricts sampled patterns to a sub-space.
+    """
+    import random
+
+    rng = random.Random(seed)
+    keyed = locked.apply_key(key)
+    pin = dict(pin or {})
+    for _ in range(num_samples):
+        pattern = {
+            net: pin.get(net, rng.getrandbits(1)) for net in keyed.inputs
+        }
+        got = {po: v for po, v in simulate(keyed, pattern).items()}
+        expected = oracle.query(pattern)
+        if any(got[po] != expected[po] for po in expected):
+            return False
+    return True

@@ -1,0 +1,29 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A second, independent reasoning engine next to the SAT solver.  BDDs
+give *counting* for free, which the locking analyses exploit:
+
+* exact wrong-key error rates on circuits too wide for exhaustive
+  simulation,
+* exact counts of keys unlocking an input sub-space (the quantity the
+  multi-key premise rests on) for key sizes far beyond brute force,
+* an alternative equivalence check that cross-validates the SAT-based
+  CEC in tests.
+"""
+
+from repro.bdd.analysis import (
+    bdd_equivalence_check,
+    count_keys_unlocking_subspace,
+    exact_error_rate,
+)
+from repro.bdd.compile import compile_netlist, compile_outputs
+from repro.bdd.manager import BddManager
+
+__all__ = [
+    "BddManager",
+    "compile_netlist",
+    "compile_outputs",
+    "exact_error_rate",
+    "count_keys_unlocking_subspace",
+    "bdd_equivalence_check",
+]

@@ -1,0 +1,85 @@
+"""Compile netlists into BDDs."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bdd.manager import BddManager
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+
+def _reduce(manager: BddManager, op, operands: list[int], unit: int) -> int:
+    result = unit
+    for node in operands:
+        result = op(result, node)
+    return result
+
+
+def compile_outputs(
+    netlist: Netlist,
+    manager: BddManager,
+    var_levels: dict[str, int],
+) -> dict[str, int]:
+    """Compile every output of ``netlist`` given input variable levels.
+
+    ``var_levels`` must map every primary input to a declared manager
+    level; gate functions are built bottom-up in topological order, so
+    no recursion depth issues arise regardless of circuit depth.
+    """
+    missing = [net for net in netlist.inputs if net not in var_levels]
+    if missing:
+        raise ValueError(f"no BDD level assigned to inputs: {missing}")
+    node_of: dict[str, int] = {
+        net: manager.var(level) for net, level in var_levels.items()
+    }
+    for gate in netlist.topological_order():
+        ins = [node_of[src] for src in gate.inputs]
+        gtype = gate.gtype
+        if gtype is GateType.AND:
+            node = _reduce(manager, manager.apply_and, ins, 1)
+        elif gtype is GateType.OR:
+            node = _reduce(manager, manager.apply_or, ins, 0)
+        elif gtype is GateType.NAND:
+            node = manager.apply_not(_reduce(manager, manager.apply_and, ins, 1))
+        elif gtype is GateType.NOR:
+            node = manager.apply_not(_reduce(manager, manager.apply_or, ins, 0))
+        elif gtype is GateType.XOR:
+            node = _reduce(manager, manager.apply_xor, ins, 0)
+        elif gtype is GateType.XNOR:
+            node = manager.apply_not(_reduce(manager, manager.apply_xor, ins, 0))
+        elif gtype is GateType.NOT:
+            node = manager.apply_not(ins[0])
+        elif gtype is GateType.BUF:
+            node = ins[0]
+        elif gtype is GateType.MUX:
+            node = manager.apply_mux(ins[0], ins[1], ins[2])
+        elif gtype is GateType.CONST0:
+            node = 0
+        elif gtype is GateType.CONST1:
+            node = 1
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unsupported gate type {gtype!r}")
+        node_of[gate.output] = node
+    return {out: node_of[out] for out in netlist.outputs}
+
+
+def compile_netlist(
+    netlist: Netlist,
+    manager: BddManager | None = None,
+    input_order: Sequence[str] | None = None,
+) -> tuple[BddManager, dict[str, int], dict[str, int]]:
+    """Compile a netlist with a fresh (or given) manager.
+
+    Returns ``(manager, output_nodes, input_levels)``.  The default
+    variable order is the netlist input order, which works well for
+    the shallow/structured circuits in this repo; callers fighting
+    blow-up can supply a better ``input_order``.
+    """
+    manager = manager or BddManager()
+    order = list(input_order) if input_order is not None else list(netlist.inputs)
+    if set(order) != set(netlist.inputs):
+        raise ValueError("input_order must be a permutation of the inputs")
+    levels = {net: manager.new_var() for net in order}
+    outputs = compile_outputs(netlist, manager, levels)
+    return manager, outputs, levels

@@ -1,0 +1,41 @@
+"""Benchmark circuit generators.
+
+The paper evaluates on the ISCAS'85 suite.  The original ``.bench``
+files cannot ship with this reproduction, so this package generates
+*functional stand-ins*: circuits of the same functional family
+(adders, ALUs, error correctors, multipliers, comparators) with the
+same interface profile as the named benchmark at ``scale=1.0`` and a
+``scale`` knob to shrink word widths for pure-Python SAT budgets.
+
+Real ISCAS netlists drop in transparently through
+:func:`repro.circuit.bench.read_bench_file` if you have them; ``c17``
+is tiny and public, so it is embedded verbatim.
+"""
+
+from repro.bench_circuits.generators import (
+    array_multiplier,
+    hamming_sec_corrector,
+    priority_controller,
+    ripple_carry_adder,
+    simple_alu,
+    word_comparator,
+)
+from repro.bench_circuits.iscas85 import (
+    ISCAS85_PROFILES,
+    c17,
+    iscas85_like,
+    iscas85_names,
+)
+
+__all__ = [
+    "ripple_carry_adder",
+    "array_multiplier",
+    "simple_alu",
+    "hamming_sec_corrector",
+    "word_comparator",
+    "priority_controller",
+    "c17",
+    "iscas85_like",
+    "iscas85_names",
+    "ISCAS85_PROFILES",
+]

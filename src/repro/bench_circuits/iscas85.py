@@ -1,0 +1,238 @@
+"""ISCAS'85-class benchmark stand-ins.
+
+The real suite cannot be redistributed here, so each named constructor
+builds a circuit of the same *functional family* (per Hansen et al.'s
+reverse engineering of the suite) with the same primary-input /
+primary-output profile at ``scale=1.0``:
+
+========  =====================================  ====  ====  ======
+name      function family                         PI    PO   gates*
+========  =====================================  ====  ====  ======
+c432      27-channel interrupt controller          36     7    160
+c499      32-bit single-error corrector            41    32    202
+c880      8-bit ALU                                60    26    383
+c1355     32-bit SEC (c499 in NAND form)           41    32    546
+c1908     16-bit SEC/DED                           33    25    880
+c2670     12-bit ALU and controller               233   140   1193
+c3540     8-bit ALU with BCD arithmetic            50    22   1669
+c5315     9-bit ALU                               178   123   2307
+c6288     16x16 array multiplier                   32    32   2406
+c7552     32-bit adder/comparator                 207   108   3512
+========  =====================================  ====  ====  ======
+
+(*gate counts of the real netlists, for reference; stand-in counts are
+the same order of magnitude but not identical.)
+
+Interfaces are matched exactly by *observable* padding: spare inputs
+feed parity trees that are XOR-folded into spare outputs, so every
+port carries live logic.  ``scale`` shrinks word widths and padding
+proportionally — the default experiments run at reduced scale because
+the SAT substrate is pure Python (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.bench_circuits.generators import (
+    array_multiplier,
+    hamming_sec_corrector,
+    priority_controller,
+    simple_alu,
+)
+from repro.bench_circuits.blocks import BlockBuilder
+from repro.circuit.bench import parse_bench
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+_C17_BENCH = """
+# c17 — the only ISCAS'85 netlist small enough to embed verbatim
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Netlist:
+    """The genuine c17 netlist (6 NAND gates)."""
+    return parse_bench(_C17_BENCH, name="c17")
+
+
+def _scaled(value: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, round(value * scale))
+
+
+def _pad_interface(netlist: Netlist, target_pi: int, target_po: int) -> Netlist:
+    """Grow the interface to exactly (target_pi, target_po), observably.
+
+    Spare inputs are grouped into parity trees; each spare output XORs
+    one parity tree with an existing output's signal, so no port is
+    dangling and the core function remains recoverable.
+    """
+    extra_pi = max(0, target_pi - len(netlist.inputs))
+    extra_po = max(0, target_po - len(netlist.outputs))
+    if extra_pi == 0 and extra_po == 0:
+        return netlist
+    pads = netlist.add_inputs([f"xpad{i}" for i in range(extra_pi)])
+    bb = BlockBuilder(netlist, "pad")
+
+    if extra_po == 0:
+        # Nothing to attach parities to: fold them into the first output.
+        if pads:
+            first = netlist.outputs[0]
+            parity = bb.parity(pads)
+            gate = netlist.gates[first]
+            moved = bb.fresh("mv")
+            netlist.gates[moved] = type(gate)(moved, gate.gtype, gate.inputs)
+            del netlist.gates[first]
+            netlist.add_gate(first, GateType.XOR, [moved, parity])
+        return netlist
+
+    # Split pads into extra_po parity groups (some may be empty).
+    groups: list[list[str]] = [[] for _ in range(extra_po)]
+    for i, pad in enumerate(pads):
+        groups[i % extra_po].append(pad)
+    existing = list(netlist.outputs)
+    new_outputs = []
+    for j, group in enumerate(groups):
+        anchor = existing[j % len(existing)]
+        out = f"ypad{j}"
+        if group:
+            parity = bb.parity(group)
+            netlist.add_gate(out, GateType.XOR, [anchor, parity])
+        else:
+            netlist.add_gate(out, GateType.NOT, [anchor])
+        new_outputs.append(out)
+    netlist.set_outputs(existing + new_outputs)
+    netlist.validate()
+    return netlist
+
+
+def _build_c432(scale: float) -> Netlist:
+    # 3 request/enable word pairs of 6 bits = 36 inputs at scale 1.
+    return priority_controller(
+        channels=3, width=_scaled(6, scale), name="c432_like"
+    )
+
+
+def _build_c499(scale: float) -> Netlist:
+    width = _scaled(32, scale, minimum=4)
+    return hamming_sec_corrector(width, name="c499_like")
+
+
+def _build_c1355(scale: float) -> Netlist:
+    width = _scaled(32, scale, minimum=4)
+    return hamming_sec_corrector(width, name="c1355_like", nand_style=True)
+
+
+def _build_c1908(scale: float) -> Netlist:
+    width = _scaled(16, scale, minimum=4)
+    return hamming_sec_corrector(width, name="c1908_like", nand_style=True)
+
+
+def _build_c880(scale: float) -> Netlist:
+    return simple_alu(
+        _scaled(8, scale), select_bits=3, extra_controls=2, name="c880_like"
+    )
+
+
+def _build_c2670(scale: float) -> Netlist:
+    return simple_alu(
+        _scaled(12, scale), select_bits=3, extra_controls=3, name="c2670_like"
+    )
+
+
+def _build_c3540(scale: float) -> Netlist:
+    return simple_alu(
+        _scaled(8, scale), select_bits=3, extra_controls=4, name="c3540_like"
+    )
+
+
+def _build_c5315(scale: float) -> Netlist:
+    return simple_alu(
+        _scaled(9, scale), select_bits=3, extra_controls=3, name="c5315_like"
+    )
+
+
+def _build_c6288(scale: float) -> Netlist:
+    return array_multiplier(_scaled(16, scale), name="c6288_like")
+
+
+def _build_c7552(scale: float) -> Netlist:
+    width = _scaled(32, scale, minimum=4)
+    netlist = Netlist("c7552_like")
+    a = netlist.add_inputs([f"a{i}" for i in range(width)])
+    b = netlist.add_inputs([f"b{i}" for i in range(width)])
+    c = netlist.add_inputs([f"c{i}" for i in range(width)])
+    cin = netlist.add_input("cin")
+    bb = BlockBuilder(netlist, "top")
+    sums, cout = bb.ripple_adder(a, b, cin)
+    eq = bb.equality(sums, c)
+    lt = bb.less_than(sums, c)
+    outputs = []
+    for i, s in enumerate(sums):
+        out = f"sum{i}"
+        netlist.add_gate(out, GateType.BUF, [s])
+        outputs.append(out)
+    netlist.add_gate("cout", GateType.BUF, [cout])
+    netlist.add_gate("eq", GateType.BUF, [eq])
+    netlist.add_gate("lt", GateType.BUF, [lt])
+    netlist.add_gate("par", GateType.BUF, [bb.parity(sums)])
+    netlist.set_outputs(outputs + ["cout", "eq", "lt", "par"])
+    netlist.validate()
+    return netlist
+
+
+ISCAS85_PROFILES: dict[str, dict] = {
+    "c432": {"pi": 36, "po": 7, "gates": 160, "family": "interrupt controller", "build": _build_c432},
+    "c499": {"pi": 41, "po": 32, "gates": 202, "family": "32-bit SEC", "build": _build_c499},
+    "c880": {"pi": 60, "po": 26, "gates": 383, "family": "8-bit ALU", "build": _build_c880},
+    "c1355": {"pi": 41, "po": 32, "gates": 546, "family": "32-bit SEC (NAND)", "build": _build_c1355},
+    "c1908": {"pi": 33, "po": 25, "gates": 880, "family": "16-bit SEC/DED", "build": _build_c1908},
+    "c2670": {"pi": 233, "po": 140, "gates": 1193, "family": "12-bit ALU+ctrl", "build": _build_c2670},
+    "c3540": {"pi": 50, "po": 22, "gates": 1669, "family": "8-bit ALU (BCD)", "build": _build_c3540},
+    "c5315": {"pi": 178, "po": 123, "gates": 2307, "family": "9-bit ALU", "build": _build_c5315},
+    "c6288": {"pi": 32, "po": 32, "gates": 2406, "family": "16x16 multiplier", "build": _build_c6288},
+    "c7552": {"pi": 207, "po": 108, "gates": 3512, "family": "32-bit adder/comparator", "build": _build_c7552},
+}
+
+
+def iscas85_names() -> list[str]:
+    """Benchmark names in the paper's Table 2 order plus the extras."""
+    return list(ISCAS85_PROFILES)
+
+
+def iscas85_like(name: str, scale: float = 1.0, match_interface: bool = True) -> Netlist:
+    """Build the stand-in for an ISCAS'85 benchmark.
+
+    Args:
+        name: One of :func:`iscas85_names` (e.g. ``"c7552"``).
+        scale: Word-width multiplier; 1.0 targets the real interface.
+        match_interface: Pad PI/PO to ``round(real * scale)`` with
+            observable parity glue (see :func:`_pad_interface`).
+    """
+    profile = ISCAS85_PROFILES.get(name)
+    if profile is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {iscas85_names()}"
+        )
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    netlist = profile["build"](scale)
+    if match_interface:
+        netlist = _pad_interface(
+            netlist,
+            target_pi=round(profile["pi"] * scale),
+            target_po=round(profile["po"] * scale),
+        )
+    return netlist

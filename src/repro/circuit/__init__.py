@@ -1,0 +1,55 @@
+"""Gate-level combinational circuit substrate.
+
+Provides the netlist intermediate representation used throughout the
+library, ISCAS ``.bench`` file I/O, bit-parallel simulation, structural
+analysis (cones, levels, key-controlled gate counting — the paper's
+splitting-input heuristic needs these), CNF encoding, and SAT-based
+combinational equivalence checking.
+"""
+
+from repro.circuit.analysis import (
+    fanin_cone,
+    fanin_support,
+    fanout_cone,
+    key_controlled_gates,
+    levelize,
+    rank_inputs_by_key_influence,
+)
+from repro.circuit.bench import format_bench, parse_bench
+from repro.circuit.cnf import NetlistEncoding, encode_netlist
+from repro.circuit.equivalence import EquivalenceResult, check_equivalence, build_miter
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Gate, Netlist, NetlistError
+from repro.circuit.simulator import (
+    evaluate,
+    exhaustive_patterns,
+    simulate,
+    truth_table,
+)
+from repro.circuit.verilog import format_verilog, write_verilog_file
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "parse_bench",
+    "format_bench",
+    "simulate",
+    "evaluate",
+    "truth_table",
+    "exhaustive_patterns",
+    "levelize",
+    "fanin_cone",
+    "fanout_cone",
+    "fanin_support",
+    "key_controlled_gates",
+    "rank_inputs_by_key_influence",
+    "encode_netlist",
+    "NetlistEncoding",
+    "check_equivalence",
+    "build_miter",
+    "EquivalenceResult",
+    "format_verilog",
+    "write_verilog_file",
+]

@@ -1,0 +1,132 @@
+"""Structural netlist analysis.
+
+Includes the fan-out-cone statistics behind the paper's splitting-input
+selection: *"determined through a fan-out cone analysis of the
+netlist's input ports, prioritizing those with the most key-controlled
+gates in their fan-out cones"* (§4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.circuit.netlist import Netlist
+
+
+def levelize(netlist: Netlist) -> dict[str, int]:
+    """Topological level of every net (inputs are level 0)."""
+    levels: dict[str, int] = {net: 0 for net in netlist.inputs}
+    for gate in netlist.topological_order():
+        levels[gate.output] = 1 + max(
+            (levels[src] for src in gate.inputs), default=0
+        )
+    return levels
+
+
+def depth(netlist: Netlist) -> int:
+    """Logic depth: maximum level over all nets."""
+    levels = levelize(netlist)
+    return max(levels.values(), default=0)
+
+
+def fanin_cone(netlist: Netlist, net: str) -> set[str]:
+    """All nets in the transitive fanin of ``net`` (inclusive)."""
+    cone: set[str] = set()
+    queue = deque([net])
+    while queue:
+        current = queue.popleft()
+        if current in cone:
+            continue
+        cone.add(current)
+        gate = netlist.gates.get(current)
+        if gate is not None:
+            queue.extend(gate.inputs)
+    return cone
+
+
+def fanin_support(netlist: Netlist, net: str) -> set[str]:
+    """Primary inputs in the transitive fanin of ``net``."""
+    return fanin_cone(netlist, net) & set(netlist.inputs)
+
+
+def fanout_cone(netlist: Netlist, net: str) -> set[str]:
+    """All gate outputs transitively depending on ``net`` (exclusive)."""
+    fanout_map = netlist.fanouts()
+    cone: set[str] = set()
+    queue = deque(fanout_map.get(net, ()))
+    while queue:
+        current = queue.popleft()
+        if current in cone:
+            continue
+        cone.add(current)
+        queue.extend(fanout_map.get(current, ()))
+    return cone
+
+
+def key_controlled_gates(netlist: Netlist, key_inputs: Iterable[str]) -> set[str]:
+    """Gate outputs whose fanin cone contains at least one key input.
+
+    Computed as a single taint-propagation sweep in topological order.
+    """
+    tainted = set(key_inputs)
+    controlled: set[str] = set()
+    for gate in netlist.topological_order():
+        if any(src in tainted for src in gate.inputs):
+            tainted.add(gate.output)
+            controlled.add(gate.output)
+    return controlled
+
+
+def rank_inputs_by_key_influence(
+    netlist: Netlist,
+    key_inputs: Sequence[str],
+    candidates: Sequence[str] | None = None,
+) -> list[tuple[str, int]]:
+    """Rank candidate primary inputs by key-controlled gates in their fan-out.
+
+    This is the paper's splitting-input heuristic.  ``candidates``
+    defaults to every primary input that is not a key input.  Returns
+    ``(input, count)`` pairs sorted by descending count, ties broken by
+    input order for determinism.
+    """
+    key_set = set(key_inputs)
+    if candidates is None:
+        candidates = [net for net in netlist.inputs if net not in key_set]
+    controlled = key_controlled_gates(netlist, key_inputs)
+
+    # One reverse sweep per candidate is simple and fast enough; the
+    # sizes here are ISCAS-class (hundreds of PIs, thousands of gates).
+    fanout_map = netlist.fanouts()
+
+    def count_controlled(net: str) -> int:
+        seen: set[str] = set()
+        stack = list(fanout_map.get(net, ()))
+        hits = 0
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in controlled:
+                hits += 1
+            stack.extend(fanout_map.get(current, ()))
+        return hits
+
+    ranked = [(net, count_controlled(net)) for net in candidates]
+    order = {net: i for i, net in enumerate(netlist.inputs)}
+    ranked.sort(key=lambda pair: (-pair[1], order.get(pair[0], 0)))
+    return ranked
+
+
+def cone_statistics(netlist: Netlist) -> dict[str, dict[str, int]]:
+    """Per-output support and cone-size statistics (reporting helper)."""
+    stats: dict[str, dict[str, int]] = {}
+    input_set = set(netlist.inputs)
+    for net in netlist.outputs:
+        cone = fanin_cone(netlist, net)
+        stats[net] = {
+            "cone_gates": len(cone - input_set),
+            "support": len(cone & input_set),
+        }
+    return stats

@@ -1,0 +1,101 @@
+"""Tseitin encoding of netlists into CNF."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.sat import (
+    CNF,
+    enc_and,
+    enc_buf,
+    enc_mux,
+    enc_nand,
+    enc_nor,
+    enc_not,
+    enc_or,
+    enc_xnor,
+    enc_xor,
+)
+
+
+@dataclass
+class NetlistEncoding:
+    """Result of encoding a netlist: the CNF and the net-to-variable map."""
+
+    cnf: CNF
+    var_of: dict[str, int]
+
+    def lit(self, net: str, value: bool = True) -> int:
+        """DIMACS literal asserting ``net == value``."""
+        var = self.var_of[net]
+        return var if value else -var
+
+
+def encode_netlist(
+    netlist: Netlist,
+    cnf: CNF | None = None,
+    share: Mapping[str, int] | None = None,
+) -> NetlistEncoding:
+    """Encode every gate of ``netlist`` into ``cnf``.
+
+    ``share`` pre-assigns variables to named nets (typically primary
+    inputs that must be shared with another circuit copy, as in a
+    miter).  All other nets receive fresh variables.
+    """
+    if cnf is None:
+        cnf = CNF()
+    var_of: dict[str, int] = dict(share or {})
+
+    def var(net: str) -> int:
+        existing = var_of.get(net)
+        if existing is not None:
+            return existing
+        fresh = cnf.new_var()
+        var_of[net] = fresh
+        return fresh
+
+    for net in netlist.inputs:
+        var(net)
+
+    for gate in netlist.topological_order():
+        out = var(gate.output)
+        ins = [var(src) for src in gate.inputs]
+        encode_gate(cnf, gate.gtype, out, ins)
+
+    return NetlistEncoding(cnf=cnf, var_of=var_of)
+
+
+def encode_gate(cnf: CNF, gtype: GateType, out: int, ins: list[int]) -> None:
+    """Append the Tseitin clauses for one gate to ``cnf``.
+
+    ``out``/``ins`` are DIMACS literals, so callers may pass negated or
+    constant-substituted operands directly.
+    """
+    if gtype is GateType.AND:
+        clauses = enc_and(out, ins)
+    elif gtype is GateType.OR:
+        clauses = enc_or(out, ins)
+    elif gtype is GateType.NAND:
+        clauses = enc_nand(out, ins)
+    elif gtype is GateType.NOR:
+        clauses = enc_nor(out, ins)
+    elif gtype is GateType.XOR:
+        clauses = enc_xor(out, ins, cnf.new_var)
+    elif gtype is GateType.XNOR:
+        clauses = enc_xnor(out, ins, cnf.new_var)
+    elif gtype is GateType.NOT:
+        clauses = enc_not(out, ins[0])
+    elif gtype is GateType.BUF:
+        clauses = enc_buf(out, ins[0])
+    elif gtype is GateType.MUX:
+        clauses = enc_mux(out, ins[0], ins[1], ins[2])
+    elif gtype is GateType.CONST0:
+        clauses = [[-out]]
+    elif gtype is GateType.CONST1:
+        clauses = [[out]]
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unsupported gate type {gtype!r}")
+    cnf.add_clauses(clauses)

@@ -1,0 +1,115 @@
+"""SAT-based combinational equivalence checking (CEC).
+
+Builds the classic miter — two circuits sharing primary inputs, output
+pairs XORed and ORed into one signal — and asks the SAT solver whether
+that signal can be 1.  UNSAT proves functional equivalence; SAT yields
+a counterexample input pattern.
+
+Fig. 1(b) of the paper is verified this way: the MUX composition of
+two "incorrect" keys must be equivalent to the original circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.cnf import encode_netlist
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist, NetlistError, fresh_net_namer
+from repro.sat import CNF
+from repro.sat.solver import Solver
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of a CEC run."""
+
+    equivalent: bool
+    counterexample: dict[str, int] | None = None
+    outputs_a: dict[str, int] | None = None
+    outputs_b: dict[str, int] | None = None
+    solver_stats: dict[str, int] | None = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _check_interfaces(a: Netlist, b: Netlist) -> None:
+    if set(a.inputs) != set(b.inputs):
+        raise NetlistError(
+            "circuits have different primary inputs: "
+            f"{sorted(set(a.inputs) ^ set(b.inputs))}"
+        )
+    if set(a.outputs) != set(b.outputs):
+        raise NetlistError(
+            "circuits have different primary outputs: "
+            f"{sorted(set(a.outputs) ^ set(b.outputs))}"
+        )
+
+
+def build_miter(a: Netlist, b: Netlist, miter_output: str = "miter_out") -> Netlist:
+    """Structural miter netlist: one output, 1 iff some output differs."""
+    _check_interfaces(a, b)
+    left = a.renamed("mA_", keep_inputs=a.inputs)
+    right = b.renamed("mB_", keep_inputs=b.inputs)
+    miter = left.merged_with(right, name=f"miter({a.name},{b.name})")
+    namer = fresh_net_namer(miter, "mx_")
+    diff_nets = []
+    for out in a.outputs:
+        diff = namer()
+        miter.add_gate(diff, GateType.XOR, ["mA_" + out, "mB_" + out])
+        diff_nets.append(diff)
+    miter.add_gate(miter_output, GateType.OR, diff_nets)
+    miter.set_outputs([miter_output])
+    return miter
+
+
+def check_equivalence(a: Netlist, b: Netlist) -> EquivalenceResult:
+    """Prove or refute functional equivalence of two netlists.
+
+    The circuits must have identical input and output name sets; input
+    order may differ.
+    """
+    _check_interfaces(a, b)
+    cnf = CNF()
+    enc_a = encode_netlist(a, cnf)
+    shared_inputs = {net: enc_a.var_of[net] for net in a.inputs}
+    enc_b = encode_netlist(b, cnf, share=shared_inputs)
+
+    # XOR each output pair, OR the XORs, assert the OR.
+    diff_vars = []
+    for out in a.outputs:
+        diff = cnf.new_var()
+        va, vb = enc_a.var_of[out], enc_b.var_of[out]
+        cnf.add_clauses(
+            [
+                [-diff, va, vb],
+                [-diff, -va, -vb],
+                [diff, -va, vb],
+                [diff, va, -vb],
+            ]
+        )
+        diff_vars.append(diff)
+    cnf.add_clause(diff_vars)
+
+    solver = cnf.to_solver()
+    if not solver.solve():
+        return EquivalenceResult(
+            equivalent=True, solver_stats=solver.stats.as_dict()
+        )
+    counterexample = {
+        net: int(solver.model_value(enc_a.var_of[net]) or 0) for net in a.inputs
+    }
+    outputs_a = {
+        net: int(solver.model_value(enc_a.var_of[net]) or 0) for net in a.outputs
+    }
+    outputs_b = {
+        net: int(solver.model_value(enc_b.var_of[net]) or 0) for net in b.outputs
+    }
+    return EquivalenceResult(
+        equivalent=False,
+        counterexample=counterexample,
+        outputs_a=outputs_a,
+        outputs_b=outputs_b,
+        solver_stats=solver.stats.as_dict(),
+    )

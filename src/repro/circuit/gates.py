@@ -1,0 +1,114 @@
+"""Gate primitives for the netlist IR.
+
+Word-level evaluation works on Python integers used as bit vectors, so
+one :func:`eval_gate` call simulates up to thousands of input patterns
+at once (the mask argument bounds the vector width).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from collections.abc import Sequence
+
+
+class GateType(str, Enum):
+    """Supported combinational gate types.
+
+    ``MUX`` takes inputs ``(sel, d1, d0)`` and selects ``d1`` when
+    ``sel`` is 1.  ``CONST0``/``CONST1`` take no inputs.
+    """
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    MUX = "MUX"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __str__(self) -> str:  # keep bench files tidy
+        return self.value
+
+
+# (min_arity, max_arity); None means unbounded.
+_ARITY: dict[GateType, tuple[int, int | None]] = {
+    GateType.AND: (1, None),
+    GateType.OR: (1, None),
+    GateType.NAND: (1, None),
+    GateType.NOR: (1, None),
+    GateType.XOR: (1, None),
+    GateType.XNOR: (1, None),
+    GateType.NOT: (1, 1),
+    GateType.BUF: (1, 1),
+    GateType.MUX: (3, 3),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+}
+
+_INVERTED = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.BUF: GateType.NOT,
+    GateType.NOT: GateType.BUF,
+    GateType.CONST0: GateType.CONST1,
+    GateType.CONST1: GateType.CONST0,
+}
+
+
+def valid_arity(gtype: GateType, arity: int) -> bool:
+    """Check that ``arity`` inputs are legal for ``gtype``."""
+    lo, hi = _ARITY[gtype]
+    return arity >= lo and (hi is None or arity <= hi)
+
+
+def inverted_type(gtype: GateType) -> GateType | None:
+    """The gate type computing the complement, or None (MUX)."""
+    return _INVERTED.get(gtype)
+
+
+def eval_gate(gtype: GateType, ins: Sequence[int], mask: int) -> int:
+    """Evaluate a gate on bit-vector operands.
+
+    Each operand is an integer whose bits are independent simulation
+    lanes; ``mask`` has a 1 in every active lane and bounds inversions.
+    """
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        acc = mask
+        for value in ins:
+            acc &= value
+        return acc if gtype is GateType.AND else acc ^ mask
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        acc = 0
+        for value in ins:
+            acc |= value
+        return acc if gtype is GateType.OR else acc ^ mask
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        acc = 0
+        for value in ins:
+            acc ^= value
+        return acc if gtype is GateType.XOR else acc ^ mask
+    if gtype is GateType.NOT:
+        return ins[0] ^ mask
+    if gtype is GateType.BUF:
+        return ins[0]
+    if gtype is GateType.MUX:
+        sel, d1, d0 = ins
+        return (sel & d1) | ((sel ^ mask) & d0)
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return mask
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+def eval_gate_const(gtype: GateType, ins: Sequence[int]) -> int:
+    """Single-bit evaluation convenience (mask = 1)."""
+    return eval_gate(gtype, ins, 1)

@@ -1,0 +1,260 @@
+"""The netlist intermediate representation.
+
+A :class:`Netlist` is a purely combinational gate network over named
+nets.  Primary inputs and gate outputs share one namespace; each net is
+driven by exactly one source (an input declaration or one gate).
+
+The IR is deliberately simple — a dict of :class:`Gate` keyed by output
+net — because every other subsystem (simulation, synthesis, locking,
+CNF encoding) walks it in topological order and rebuilds what it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.circuit.gates import GateType, valid_arity
+
+
+class NetlistError(Exception):
+    """Structural problem in a netlist (multiple drivers, cycles, ...)."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: ``output = gtype(inputs)``."""
+
+    output: str
+    gtype: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not valid_arity(self.gtype, len(self.inputs)):
+            raise NetlistError(
+                f"{self.gtype} gate {self.output!r} has illegal arity "
+                f"{len(self.inputs)}"
+            )
+
+
+@dataclass
+class Netlist:
+    """A combinational circuit.
+
+    Attributes:
+        name: Human-readable circuit name.
+        inputs: Ordered primary-input net names.
+        outputs: Ordered primary-output net names (must be driven).
+        gates: Gate instances keyed by their output net.
+    """
+
+    name: str = "circuit"
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    gates: dict[str, Gate] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        if net in self.gates:
+            raise NetlistError(f"net {net!r} already driven by a gate")
+        if net in self.inputs:
+            raise NetlistError(f"duplicate input {net!r}")
+        self.inputs.append(net)
+        return net
+
+    def add_inputs(self, nets: Iterable[str]) -> list[str]:
+        return [self.add_input(net) for net in nets]
+
+    def add_gate(self, output: str, gtype: GateType, inputs: Sequence[str]) -> str:
+        """Add ``output = gtype(inputs)`` and return the output net."""
+        if output in self.gates:
+            raise NetlistError(f"net {output!r} already driven by a gate")
+        if output in self.inputs:
+            raise NetlistError(f"net {output!r} is a primary input")
+        self.gates[output] = Gate(output, gtype, tuple(inputs))
+        return output
+
+    def set_outputs(self, nets: Iterable[str]) -> None:
+        self.outputs = list(nets)
+
+    def add_output(self, net: str) -> str:
+        self.outputs.append(net)
+        return net
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def nets(self) -> list[str]:
+        """All nets: inputs first, then gate outputs (insertion order)."""
+        return list(self.inputs) + list(self.gates)
+
+    def is_driven(self, net: str) -> bool:
+        return net in self.gates or net in self.inputs
+
+    def driver(self, net: str) -> Gate | None:
+        """The gate driving ``net``, or None for primary inputs."""
+        return self.gates.get(net)
+
+    def fanouts(self) -> dict[str, list[str]]:
+        """Map each net to the list of gate outputs it feeds."""
+        result: dict[str, list[str]] = {net: [] for net in self.nets()}
+        for gate in self.gates.values():
+            for src in gate.inputs:
+                result.setdefault(src, []).append(gate.output)
+        return result
+
+    def gate_type_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for gate in self.gates.values():
+            histogram[gate.gtype.value] = histogram.get(gate.gtype.value, 0) + 1
+        return histogram
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on dangling nets, bad outputs or cycles."""
+        for gate in self.gates.values():
+            for src in gate.inputs:
+                if not self.is_driven(src):
+                    raise NetlistError(
+                        f"gate {gate.output!r} reads undriven net {src!r}"
+                    )
+        for net in self.outputs:
+            if not self.is_driven(net):
+                raise NetlistError(f"primary output {net!r} is undriven")
+        self.topological_order()  # raises on combinational loops
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[Gate]:
+        """Gates sorted so every gate follows its fanins.
+
+        Raises :class:`NetlistError` if the netlist has a cycle.
+        """
+        order: list[Gate] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        for net in self.inputs:
+            state[net] = 1
+        stack: list[tuple[str, int]] = []
+        for root in self.gates:
+            if state.get(root) == 1:
+                continue
+            stack.append((root, 0))
+            while stack:
+                net, child_idx = stack[-1]
+                gate = self.gates.get(net)
+                if gate is None:  # undriven net: treated as leaf here
+                    state[net] = 1
+                    stack.pop()
+                    continue
+                if child_idx == 0:
+                    if state.get(net) == 0:
+                        raise NetlistError(f"combinational loop through {net!r}")
+                    state[net] = 0
+                advanced = False
+                for i in range(child_idx, len(gate.inputs)):
+                    src = gate.inputs[i]
+                    src_state = state.get(src)
+                    if src_state == 0:
+                        raise NetlistError(f"combinational loop through {src!r}")
+                    if src_state is None:
+                        stack[-1] = (net, i + 1)
+                        stack.append((src, 0))
+                        advanced = True
+                        break
+                if advanced:
+                    continue
+                state[net] = 1
+                order.append(gate)
+                stack.pop()
+        return order
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Netlist":
+        dup = Netlist(
+            name=name or self.name,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            gates=dict(self.gates),
+        )
+        return dup
+
+    def renamed(self, prefix: str, keep_inputs: Iterable[str] = ()) -> "Netlist":
+        """Return a copy with every net (except ``keep_inputs``) prefixed.
+
+        Used to instantiate multiple copies of a circuit side by side
+        (e.g. the two halves of a miter) without name collisions.
+        """
+        keep = set(keep_inputs)
+
+        def rn(net: str) -> str:
+            return net if net in keep else prefix + net
+
+        dup = Netlist(name=prefix + self.name)
+        dup.inputs = [rn(net) for net in self.inputs]
+        dup.outputs = [rn(net) for net in self.outputs]
+        for gate in self.gates.values():
+            dup.gates[rn(gate.output)] = Gate(
+                rn(gate.output), gate.gtype, tuple(rn(s) for s in gate.inputs)
+            )
+        return dup
+
+    def merged_with(self, other: "Netlist", name: str = "merged") -> "Netlist":
+        """Union of two netlists sharing identically named nets.
+
+        Nets driven in both netlists must not conflict; shared inputs
+        are unified.
+        """
+        merged = Netlist(name=name)
+        merged.inputs = list(self.inputs)
+        for net in other.inputs:
+            if net not in merged.inputs and net not in self.gates:
+                merged.inputs.append(net)
+        merged.gates = dict(self.gates)
+        for net, gate in other.gates.items():
+            if net in merged.gates:
+                if merged.gates[net] != gate:
+                    raise NetlistError(f"conflicting drivers for {net!r}")
+                continue
+            if net in merged.inputs:
+                raise NetlistError(f"net {net!r} is input in one, gate in other")
+            merged.gates[net] = gate
+        merged.outputs = list(self.outputs) + [
+            net for net in other.outputs if net not in self.outputs
+        ]
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, gates={len(self.gates)})"
+        )
+
+
+def fresh_net_namer(netlist: Netlist, stem: str):
+    """Return a callable yielding net names not present in ``netlist``.
+
+    The namer only checks against nets present when it was created plus
+    the names it has handed out, so create it after the netlist is
+    fully built.
+    """
+    used = set(netlist.nets())
+    counter = 0
+
+    def next_name() -> str:
+        nonlocal counter
+        while True:
+            candidate = f"{stem}{counter}"
+            counter += 1
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+
+    return next_name

@@ -1,0 +1,74 @@
+"""Seeded random combinational netlists for property-based testing."""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+
+_RANDOM_TYPES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+    GateType.MUX,
+]
+
+
+def random_netlist(
+    num_inputs: int,
+    num_gates: int,
+    seed: int = 0,
+    num_outputs: int | None = None,
+    allow_const: bool = False,
+) -> Netlist:
+    """Generate a random combinational DAG.
+
+    Every gate draws fanins uniformly from earlier nets, so the result
+    is acyclic by construction and deterministic for a given seed.
+    """
+    if num_inputs < 1:
+        raise ValueError("need at least one input")
+    if num_gates < 1:
+        raise ValueError("need at least one gate")
+    rng = random.Random(seed)
+    netlist = Netlist(name=f"random_{num_inputs}x{num_gates}_s{seed}")
+    nets = [netlist.add_input(f"pi{i}") for i in range(num_inputs)]
+
+    types = list(_RANDOM_TYPES)
+    if allow_const:
+        types += [GateType.CONST0, GateType.CONST1]
+
+    for g in range(num_gates):
+        gtype = rng.choice(types)
+        if gtype in (GateType.NOT, GateType.BUF):
+            fanins = [rng.choice(nets)]
+        elif gtype is GateType.MUX:
+            fanins = [rng.choice(nets) for _ in range(3)]
+        elif gtype in (GateType.CONST0, GateType.CONST1):
+            fanins = []
+        else:
+            arity = rng.choice([2, 2, 2, 3])
+            fanins = [rng.choice(nets) for _ in range(arity)]
+        out = netlist.add_gate(f"g{g}", gtype, fanins)
+        nets.append(out)
+
+    if num_outputs is None:
+        num_outputs = max(1, min(8, num_gates // 4))
+    num_outputs = min(num_outputs, num_gates)
+    # Prefer sinks (nets nobody reads) so the whole DAG stays observable.
+    fanout = netlist.fanouts()
+    sinks = [n for n in netlist.gates if not fanout[n]]
+    chosen: list[str] = sinks[:num_outputs]
+    remaining = [n for n in netlist.gates if n not in set(chosen)]
+    while len(chosen) < num_outputs and remaining:
+        pick = rng.choice(remaining)
+        remaining.remove(pick)
+        chosen.append(pick)
+    netlist.set_outputs(chosen)
+    return netlist

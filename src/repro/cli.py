@@ -1,0 +1,193 @@
+"""Command-line interface: ``repro-lock`` (or ``python -m repro``).
+
+Subcommands map one-to-one onto the library's experiment runners::
+
+    repro-lock figure1
+    repro-lock table1 --key-sizes 4,8 --scale 0.2
+    repro-lock table2 --scale 0.4 --time-limit 120
+    repro-lock attack --circuit c6288 --scheme sarlock --key-size 8 -N 2
+    repro-lock bench --circuit c7552 --scale 0.3 --out c7552.bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(tok) for tok in text.split(",") if tok.strip())
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.experiments.figure1 import run_figure1
+
+    result = run_figure1(correct_key=args.key)
+    print(result.format())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import run_table1
+
+    result = run_table1(
+        key_sizes=_parse_int_list(args.key_sizes),
+        efforts=_parse_int_list(args.efforts),
+        scale=args.scale,
+        time_limit_per_task=args.time_limit,
+        parallel=args.parallel,
+    )
+    print(result.format())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import TABLE2_CIRCUITS, run_table2
+    from repro.locking.lut_lock import LutModuleSpec
+
+    circuits = (
+        tuple(args.circuits.split(",")) if args.circuits else TABLE2_CIRCUITS
+    )
+    spec = {
+        "tiny": LutModuleSpec.tiny,
+        "small": LutModuleSpec.small,
+        "paper": LutModuleSpec.paper_scale,
+    }[args.spec]()
+    result = run_table2(
+        circuits=circuits,
+        scale=args.scale,
+        spec=spec,
+        time_limit_per_task=args.time_limit,
+        parallel=not args.sequential,
+        verify=not args.no_verify,
+    )
+    print(result.format())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    if args.which in ("splitting", "both"):
+        from repro.experiments.ablation_splitting import run_splitting_ablation
+
+        print(run_splitting_ablation(scale=args.scale).format())
+    if args.which in ("synthesis", "both"):
+        from repro.experiments.ablation_synthesis import run_synthesis_ablation
+
+        print(run_synthesis_ablation(scale=args.scale).format())
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.bench_circuits.iscas85 import iscas85_like
+    from repro.core.compose import verify_composition
+    from repro.core.multikey import multikey_attack
+    from repro.locking.lut_lock import LutModuleSpec, lut_lock
+    from repro.locking.sarlock import sarlock_lock
+    from repro.locking.xor_lock import xor_lock
+
+    original = iscas85_like(args.circuit, args.scale)
+    if args.scheme == "sarlock":
+        locked = sarlock_lock(original, args.key_size, seed=args.seed)
+    elif args.scheme == "xor":
+        locked = xor_lock(original, args.key_size, seed=args.seed)
+    else:
+        locked = lut_lock(original, LutModuleSpec.small(), seed=args.seed)
+    print(f"locked: {locked}")
+
+    result = multikey_attack(
+        locked,
+        original,
+        effort=args.effort,
+        parallel=args.parallel,
+        time_limit_per_task=args.time_limit,
+    )
+    print(
+        f"status={result.status} splitting={result.splitting_inputs} "
+        f"dips/task={result.dips_per_task}"
+    )
+    print(
+        f"max task {result.max_subtask_seconds:.2f}s, "
+        f"mean {result.mean_subtask_seconds:.2f}s, "
+        f"wall {result.wall_seconds:.2f}s"
+    )
+    if result.status == "ok":
+        equivalent = verify_composition(
+            locked, result.splitting_inputs, result.keys, original
+        )
+        print(f"multi-key composition equivalent: {bool(equivalent)}")
+    return 0 if result.status == "ok" else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench_circuits.iscas85 import iscas85_like
+    from repro.circuit.bench import format_bench, write_bench_file
+
+    netlist = iscas85_like(args.circuit, args.scale)
+    if args.out:
+        write_bench_file(netlist, args.out)
+        print(f"wrote {netlist} to {args.out}")
+    else:
+        print(format_bench(netlist), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lock",
+        description="Multi-key SAT attack on logic locking (DAC'24 LBR reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure1", help="regenerate Fig. 1(a)/(b)")
+    p.add_argument("--key", type=lambda s: int(s, 0), default=0b101)
+    p.set_defaults(func=_cmd_figure1)
+
+    p = sub.add_parser("table1", help="regenerate Table 1 (#DIP vs N)")
+    p.add_argument("--key-sizes", default="4,8,12")
+    p.add_argument("--efforts", default="0,1,2,3,4")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--time-limit", type=float, default=None)
+    p.add_argument("--parallel", action="store_true")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate Table 2 (LUT runtimes)")
+    p.add_argument("--circuits", default="")
+    p.add_argument("--scale", type=float, default=0.4)
+    p.add_argument("--spec", choices=("tiny", "small", "paper"), default="paper")
+    p.add_argument("--time-limit", type=float, default=300.0)
+    p.add_argument("--sequential", action="store_true")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("ablation", help="run the A1/A2 ablations")
+    p.add_argument("which", choices=("splitting", "synthesis", "both"))
+    p.add_argument("--scale", type=float, default=0.3)
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("attack", help="lock a benchmark and attack it")
+    p.add_argument("--circuit", default="c6288")
+    p.add_argument("--scheme", choices=("sarlock", "xor", "lut"), default="sarlock")
+    p.add_argument("--key-size", type=int, default=8)
+    p.add_argument("-N", "--effort", type=int, default=2)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--parallel", action="store_true")
+    p.add_argument("--time-limit", type=float, default=None)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("bench", help="emit an ISCAS-class stand-in as .bench")
+    p.add_argument("--circuit", default="c7552")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--out", default="")
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Algorithm 1: the multi-key attack.
+
+For splitting effort ``N`` the input space splits into ``2^N``
+sub-spaces.  Each sub-task synthesizes a conditional netlist and runs
+the pinned SAT attack; its result key unlocks its sub-space (it may be
+"incorrect" globally — that is the point of the paper).  The tasks are
+embarrassingly parallel; ``parallel=True`` runs them on a process
+pool, and the reported cost follows the paper's convention: *"our
+attack's efficiency is determined by the runtime of the most
+time-intensive sub-task"*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import fmean
+
+from repro.attacks.sat_attack import sat_attack
+from repro.circuit.netlist import Netlist
+from repro.core.conditional import generate_conditional_netlist
+from repro.core.splitting import select_splitting_inputs, splitting_assignments
+from repro.locking.base import LockedCircuit, key_to_int
+from repro.oracle.oracle import Oracle
+
+
+@dataclass
+class SubTaskResult:
+    """One of the ``2^N`` independent sub-attacks."""
+
+    index: int
+    assignment: dict[str, bool]
+    key: dict[str, bool] | None
+    status: str
+    num_dips: int
+    elapsed_seconds: float
+    synthesis_seconds: float
+    gates_before: int
+    gates_after: int
+    oracle_queries: int
+    solver_stats: dict[str, int] = field(default_factory=dict)
+    key_order: list[str] = field(default_factory=list)
+
+    @property
+    def key_int(self) -> int | None:
+        if self.key is None:
+            return None
+        return key_to_int([int(self.key[net]) for net in self.key_order])
+
+    @property
+    def total_seconds(self) -> float:
+        """Attack plus synthesis time — the sub-task's full cost."""
+        return self.elapsed_seconds + self.synthesis_seconds
+
+
+@dataclass
+class MultiKeyResult:
+    """Everything Algorithm 1 returns, plus the paper's runtime metrics."""
+
+    effort: int
+    splitting_inputs: list[str]
+    subtasks: list[SubTaskResult]
+    wall_seconds: float
+    parallel: bool
+    selection: str
+
+    @property
+    def status(self) -> str:
+        return "ok" if all(t.status == "ok" for t in self.subtasks) else "partial"
+
+    @property
+    def keys(self) -> list[dict[str, bool]]:
+        return [t.key for t in self.subtasks if t.key is not None]
+
+    @property
+    def key_ints(self) -> list[int | None]:
+        return [t.key_int for t in self.subtasks]
+
+    @property
+    def max_subtask_seconds(self) -> float:
+        return max((t.total_seconds for t in self.subtasks), default=0.0)
+
+    @property
+    def min_subtask_seconds(self) -> float:
+        return min((t.total_seconds for t in self.subtasks), default=0.0)
+
+    @property
+    def mean_subtask_seconds(self) -> float:
+        if not self.subtasks:
+            return 0.0
+        return fmean(t.total_seconds for t in self.subtasks)
+
+    @property
+    def total_dips(self) -> int:
+        return sum(t.num_dips for t in self.subtasks)
+
+    @property
+    def dips_per_task(self) -> list[int]:
+        return [t.num_dips for t in self.subtasks]
+
+
+def _run_subtask(payload: tuple) -> SubTaskResult:
+    """Worker body; module-level so it pickles for multiprocessing."""
+    (
+        locked,
+        original,
+        index,
+        assignment,
+        run_synthesis,
+        synthesis_effort,
+        time_limit,
+        max_dips,
+    ) = payload
+    conditional = generate_conditional_netlist(
+        locked, assignment, run_synthesis=run_synthesis, effort=synthesis_effort
+    )
+    oracle = Oracle(original)
+    result = sat_attack(
+        conditional.locked,
+        oracle,
+        pin=assignment,
+        time_limit=time_limit,
+        max_dips=max_dips,
+        record_iterations=False,
+    )
+    return SubTaskResult(
+        index=index,
+        assignment=dict(assignment),
+        key=result.key,
+        status=result.status,
+        num_dips=result.num_dips,
+        elapsed_seconds=result.elapsed_seconds,
+        synthesis_seconds=(
+            conditional.synthesis.elapsed_seconds if conditional.synthesis else 0.0
+        ),
+        gates_before=conditional.gates_before,
+        gates_after=conditional.gates_after,
+        oracle_queries=result.oracle_queries,
+        solver_stats=result.solver_stats,
+        key_order=list(locked.key_inputs),
+    )
+
+
+def multikey_attack(
+    locked: LockedCircuit,
+    oracle_netlist: Netlist,
+    effort: int,
+    selection: str = "fanout",
+    run_synthesis: bool = True,
+    synthesis_effort: int = 2,
+    parallel: bool = False,
+    processes: int | None = None,
+    time_limit_per_task: float | None = None,
+    max_dips_per_task: int | None = None,
+    seed: int = 0,
+    splitting_inputs: list[str] | None = None,
+) -> MultiKeyResult:
+    """Run Algorithm 1 with splitting effort ``N = effort``.
+
+    Args:
+        locked: The locked design (attacker's netlist).
+        oracle_netlist: The original design, used only to *simulate*
+            the black-box oracle inside each sub-task (each worker
+            process instantiates its own :class:`Oracle` from it).
+        effort: ``N``; the input space splits into ``2^N`` sub-spaces.
+        selection: Splitting-input strategy (see
+            :func:`repro.core.splitting.select_splitting_inputs`).
+        run_synthesis: Synthesize each conditional netlist (line 4 of
+            Algorithm 1).  Disabling this is the A2 ablation.
+        parallel: Fan the sub-tasks out over a process pool.
+        processes: Pool size (defaults to ``min(2^N, cpu_count)``).
+        time_limit_per_task / max_dips_per_task: Sub-attack budgets.
+        splitting_inputs: Override the selection entirely (used by
+            tests and the composition example).
+
+    ``effort=0`` degenerates to the baseline single-key SAT attack.
+    """
+    start = time.perf_counter()
+    if splitting_inputs is None:
+        splitting_inputs = select_splitting_inputs(
+            locked, effort, strategy=selection, seed=seed
+        )
+    elif len(splitting_inputs) != effort:
+        raise ValueError("splitting_inputs length must equal effort")
+    assignments = splitting_assignments(splitting_inputs)
+
+    payloads = [
+        (
+            locked,
+            oracle_netlist,
+            index,
+            assignment,
+            run_synthesis,
+            synthesis_effort,
+            time_limit_per_task,
+            max_dips_per_task,
+        )
+        for index, assignment in enumerate(assignments)
+    ]
+
+    if parallel and len(payloads) > 1:
+        import multiprocessing
+
+        pool_size = processes or min(len(payloads), multiprocessing.cpu_count())
+        with multiprocessing.Pool(pool_size) as pool:
+            subtasks = pool.map(_run_subtask, payloads)
+    else:
+        subtasks = [_run_subtask(p) for p in payloads]
+
+    return MultiKeyResult(
+        effort=effort,
+        splitting_inputs=list(splitting_inputs),
+        subtasks=list(subtasks),
+        wall_seconds=time.perf_counter() - start,
+        parallel=parallel and len(payloads) > 1,
+        selection=selection,
+    )

@@ -1,0 +1,31 @@
+"""Experiment runners regenerating the paper's tables and figures.
+
+Each module owns one artifact:
+
+* :mod:`repro.experiments.table1` — Table 1 (#DIP vs splitting effort,
+  SARLock-locked c7552-class),
+* :mod:`repro.experiments.table2` — Table 2 (runtime of attacking
+  LUT-based insertion, baseline vs 16 parallel sub-tasks),
+* :mod:`repro.experiments.figure1` — Fig. 1(a) error distribution and
+  Fig. 1(b) multi-key MUX composition,
+* :mod:`repro.experiments.ablation_splitting` — A1: splitting-input
+  selection strategies,
+* :mod:`repro.experiments.ablation_synthesis` — A2: conditional-netlist
+  synthesis on/off.
+
+Every runner accepts a scale/limits so the same code serves smoke
+tests, the pytest benchmarks and full-scale reproduction runs.
+"""
+
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Result",
+    "run_figure1",
+    "Figure1Result",
+]

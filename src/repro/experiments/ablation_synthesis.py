@@ -1,0 +1,108 @@
+"""Ablation A2: what does conditional-netlist synthesis buy?
+
+Algorithm 1 line 4 synthesizes each pinned netlist "to remove any
+redundant logic".  This ablation runs the same sub-attacks with the
+synthesis step disabled (the SAT attack still pins the inputs with
+unit clauses, so results are identical — only cost changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+
+from repro.bench_circuits.iscas85 import iscas85_like
+from repro.core.multikey import multikey_attack
+from repro.experiments.report import format_table, seconds
+from repro.locking.lut_lock import LutModuleSpec, lut_lock
+
+
+@dataclass
+class SynthesisAblationRow:
+    synthesis: bool
+    mean_gates: float
+    total_dips: int
+    max_seconds: float
+    mean_seconds: float
+    keys_match: bool
+    status: str
+
+
+@dataclass
+class SynthesisAblationResult:
+    circuit: str
+    scale: float
+    effort: int
+    rows: list[SynthesisAblationRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        headers = [
+            "Cond. synthesis",
+            "Mean gates",
+            "Total #DIP",
+            "Max task",
+            "Mean task",
+            "Status",
+        ]
+        body = [
+            [
+                "on" if row.synthesis else "off",
+                f"{row.mean_gates:.0f}",
+                row.total_dips,
+                seconds(row.max_seconds),
+                seconds(row.mean_seconds),
+                row.status,
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            body,
+            title=(
+                f"A2: conditional-netlist synthesis on {self.circuit} "
+                f"(scale={self.scale}, N={self.effort})"
+            ),
+        )
+
+
+def run_synthesis_ablation(
+    circuit: str = "c1355",
+    scale: float = 0.3,
+    effort: int = 3,
+    spec: LutModuleSpec | None = None,
+    seed: int = 1,
+    time_limit_per_task: float | None = 120.0,
+) -> SynthesisAblationResult:
+    """Run the multi-key attack with and without conditional synthesis."""
+    spec = spec or LutModuleSpec.paper_scale()
+    original = iscas85_like(circuit, scale)
+    locked = lut_lock(original, spec, seed=seed)
+    result = SynthesisAblationResult(circuit=circuit, scale=scale, effort=effort)
+    reference_keys: list[int | None] | None = None
+    for run_synthesis in (True, False):
+        attack = multikey_attack(
+            locked,
+            original,
+            effort=effort,
+            run_synthesis=run_synthesis,
+            seed=seed,
+            time_limit_per_task=time_limit_per_task,
+        )
+        keys = attack.key_ints
+        if reference_keys is None:
+            reference_keys = keys
+            keys_match = True
+        else:
+            keys_match = keys == reference_keys
+        result.rows.append(
+            SynthesisAblationRow(
+                synthesis=run_synthesis,
+                mean_gates=fmean(t.gates_after for t in attack.subtasks),
+                total_dips=attack.total_dips,
+                max_seconds=attack.max_subtask_seconds,
+                mean_seconds=attack.mean_subtask_seconds,
+                keys_match=keys_match,
+                status=attack.status,
+            )
+        )
+    return result

@@ -1,0 +1,112 @@
+"""Table 1: #DIP for SARLock-locked c7552 under splitting effort N.
+
+The paper's flow checker: SARLock's #DIP is deterministic
+(one DIP per wrong key in the reachable sub-space), so the expected
+shape is ``#DIP ~ 2^|K| - 1`` at ``N = 0``, roughly halving per unit of
+``N``, with *identical* #DIP across the ``2^N`` parallel tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench_circuits.iscas85 import iscas85_like
+from repro.core.multikey import MultiKeyResult, multikey_attack
+from repro.experiments.report import format_table
+from repro.locking.sarlock import sarlock_lock
+
+
+@dataclass
+class Table1Cell:
+    """One (key size, effort) grid entry."""
+
+    key_size: int
+    effort: int
+    dips_per_task: list[int]
+    uniform: bool  # paper: "the same #DIP for all the parallelized tasks"
+    max_dips: int
+    status: str
+
+
+@dataclass
+class Table1Result:
+    """The full grid plus provenance."""
+
+    circuit: str
+    scale: float
+    key_sizes: list[int]
+    efforts: list[int]
+    cells: list[Table1Cell] = field(default_factory=list)
+
+    def cell(self, key_size: int, effort: int) -> Table1Cell:
+        for entry in self.cells:
+            if entry.key_size == key_size and entry.effort == effort:
+                return entry
+        raise KeyError((key_size, effort))
+
+    def format(self) -> str:
+        headers = ["|K|"] + [
+            f"N={n}" + (" (baseline)" if n == 0 else "") for n in self.efforts
+        ]
+        rows = []
+        for k in self.key_sizes:
+            row: list[object] = [k]
+            for n in self.efforts:
+                entry = self.cell(k, n)
+                mark = "" if entry.uniform else "*"
+                row.append(f"{entry.max_dips}{mark}")
+            rows.append(row)
+        note = "(#DIP of the parallel tasks; * = tasks disagreed)"
+        title = (
+            f"Table 1: #DIP for SARLock-locked {self.circuit} "
+            f"(scale={self.scale}) {note}"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def run_table1(
+    key_sizes: tuple[int, ...] = (4, 8, 12),
+    efforts: tuple[int, ...] = (0, 1, 2, 3, 4),
+    circuit: str = "c7552",
+    scale: float = 0.25,
+    seed: int = 0,
+    time_limit_per_task: float | None = None,
+    parallel: bool = False,
+) -> Table1Result:
+    """Regenerate Table 1.
+
+    The paper uses the full-size c7552; ``scale`` shrinks the carrier
+    circuit, which does not change SARLock's #DIP (it depends only on
+    the key size and the splitting effort) but keeps pure-Python
+    runtimes reasonable.
+    """
+    original = iscas85_like(circuit, scale)
+    result = Table1Result(
+        circuit=circuit,
+        scale=scale,
+        key_sizes=list(key_sizes),
+        efforts=list(efforts),
+    )
+    for key_size in key_sizes:
+        locked = sarlock_lock(original, key_size, seed=seed)
+        for effort in efforts:
+            attack: MultiKeyResult = multikey_attack(
+                locked,
+                original,
+                effort=effort,
+                parallel=parallel,
+                time_limit_per_task=time_limit_per_task,
+                seed=seed,
+            )
+            dips = attack.dips_per_task
+            result.cells.append(
+                Table1Cell(
+                    key_size=key_size,
+                    effort=effort,
+                    dips_per_task=dips,
+                    uniform=len(set(dips)) == 1,
+                    max_dips=max(dips) if dips else 0,
+                    status=attack.status,
+                )
+            )
+    return result

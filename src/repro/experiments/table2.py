@@ -1,0 +1,157 @@
+"""Table 2: runtime of attacking LUT-based insertion.
+
+For each benchmark: the baseline single-key SAT attack versus the
+multi-key attack at ``N = 4`` (16 sub-tasks).  As in the paper we
+report the minimum / mean / maximum sub-task runtime and the
+``maximum / baseline`` ratio — the attack's wall-clock cost on a
+16-core machine is its slowest sub-task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench_circuits.iscas85 import iscas85_like
+from repro.core.compose import verify_composition
+from repro.core.multikey import multikey_attack
+from repro.experiments.report import format_table, seconds
+from repro.locking.lut_lock import LutModuleSpec, lut_lock
+
+#: The paper's Table 2 benchmark list.
+TABLE2_CIRCUITS = (
+    "c880",
+    "c1355",
+    "c1908",
+    "c2670",
+    "c3540",
+    "c5315",
+    "c6288",
+    "c7552",
+)
+
+
+@dataclass
+class Table2Row:
+    """One benchmark's baseline-vs-multikey comparison."""
+
+    circuit: str
+    baseline_seconds: float
+    baseline_status: str
+    min_seconds: float
+    mean_seconds: float
+    max_seconds: float
+    multikey_status: str
+    ratio: float  # max sub-task / baseline (the paper's metric)
+    baseline_dips: int
+    dips_per_task: list[int]
+    composition_equivalent: bool | None = None
+
+
+@dataclass
+class Table2Result:
+    scale: float
+    effort: int
+    spec: LutModuleSpec
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def format(self) -> str:
+        headers = [
+            "Circuit",
+            "Baseline [5]",
+            "Minimum",
+            "Mean",
+            "Maximum",
+            "Maximum/Baseline",
+            "CEC",
+        ]
+        body = []
+        for row in self.rows:
+            body.append(
+                [
+                    row.circuit,
+                    seconds(row.baseline_seconds)
+                    + ("" if row.baseline_status == "ok" else "!"),
+                    seconds(row.min_seconds),
+                    seconds(row.mean_seconds),
+                    seconds(row.max_seconds)
+                    + ("" if row.multikey_status == "ok" else "!"),
+                    f"{row.ratio:.3f}",
+                    {True: "pass", False: "FAIL", None: "-"}[
+                        row.composition_equivalent
+                    ],
+                ]
+            )
+        title = (
+            f"Table 2: runtime of attacking LUT-based insertion "
+            f"(scale={self.scale}, {self.spec.key_bits}-bit key, N={self.effort})"
+        )
+        return format_table(headers, body, title=title)
+
+
+def run_table2(
+    circuits: tuple[str, ...] = TABLE2_CIRCUITS,
+    scale: float = 0.4,
+    spec: LutModuleSpec | None = None,
+    effort: int = 4,
+    parallel: bool = True,
+    processes: int | None = None,
+    time_limit_per_task: float | None = 300.0,
+    seed: int = 1,
+    verify: bool = True,
+) -> Table2Result:
+    """Regenerate Table 2.
+
+    ``spec`` defaults to :meth:`LutModuleSpec.paper_scale` (the
+     14-input two-stage module).  ``verify=True`` additionally composes
+    the 16 recovered keys per Fig. 1(b) and proves CEC equivalence —
+    something the paper asserts but does not report per row.
+    """
+    spec = spec or LutModuleSpec.paper_scale()
+    result = Table2Result(scale=scale, effort=effort, spec=spec)
+    for name in circuits:
+        original = iscas85_like(name, scale)
+        locked = lut_lock(original, spec, seed=seed)
+
+        baseline = multikey_attack(
+            locked,
+            original,
+            effort=0,
+            time_limit_per_task=time_limit_per_task,
+            seed=seed,
+        )
+        base_seconds = baseline.max_subtask_seconds
+
+        attack = multikey_attack(
+            locked,
+            original,
+            effort=effort,
+            parallel=parallel,
+            processes=processes,
+            time_limit_per_task=time_limit_per_task,
+            seed=seed,
+        )
+
+        equivalent: bool | None = None
+        if verify and attack.status == "ok":
+            equivalent = bool(
+                verify_composition(
+                    locked, attack.splitting_inputs, attack.keys, original
+                )
+            )
+
+        result.rows.append(
+            Table2Row(
+                circuit=name,
+                baseline_seconds=base_seconds,
+                baseline_status=baseline.status,
+                min_seconds=attack.min_subtask_seconds,
+                mean_seconds=attack.mean_subtask_seconds,
+                max_seconds=attack.max_subtask_seconds,
+                multikey_status=attack.status,
+                ratio=attack.max_subtask_seconds / max(base_seconds, 1e-9),
+                baseline_dips=baseline.total_dips,
+                dips_per_task=attack.dips_per_task,
+                composition_equivalent=equivalent,
+            )
+        )
+    return result

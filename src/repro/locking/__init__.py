@@ -1,0 +1,43 @@
+"""Logic-locking schemes.
+
+Implements the paper's two benchmark targets — SARLock [7] and
+LUT-based insertion [6] — plus random XOR/XNOR locking (the classic
+baseline the SAT attack was built against) and Anti-SAT as an
+extension.  Every scheme returns a :class:`LockedCircuit` bundling the
+locked netlist, the ordered key ports and the correct key.
+"""
+
+from repro.locking.antisat import antisat_lock
+from repro.locking.base import LockedCircuit, LockingError, random_key
+from repro.locking.defense import (
+    SplittingResistance,
+    entangled_sarlock,
+    splitting_resistance,
+)
+from repro.locking.lut_lock import LutModuleSpec, lut_lock
+from repro.locking.metrics import (
+    error_matrix,
+    error_rate,
+    format_error_matrix,
+    keys_unlocking_subspace,
+)
+from repro.locking.sarlock import sarlock_lock
+from repro.locking.xor_lock import xor_lock
+
+__all__ = [
+    "LockedCircuit",
+    "LockingError",
+    "random_key",
+    "xor_lock",
+    "sarlock_lock",
+    "antisat_lock",
+    "lut_lock",
+    "LutModuleSpec",
+    "error_rate",
+    "error_matrix",
+    "format_error_matrix",
+    "keys_unlocking_subspace",
+    "entangled_sarlock",
+    "splitting_resistance",
+    "SplittingResistance",
+]

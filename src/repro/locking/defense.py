@@ -1,0 +1,303 @@
+"""Countermeasures against the multi-key attack (the paper's future work).
+
+The paper closes with: *"Future works include creating effective
+defenses to counter the new 'multi-key' attack scenario."*  This
+module prototypes the most direct such defense and the analysis that
+motivates it.
+
+The multi-key attack wins because pinning a few primary inputs (a)
+shrinks the locked cone and (b) inflates the set of keys that unlock
+the sub-space.  ``entangled_sarlock`` attacks both levers: instead of
+comparing the key against N raw primary inputs, it compares against N
+*parity functions* spread across the whole input space.  Pinning any
+small set of inputs then neither simplifies the comparator (every
+parity still depends on many free inputs) nor collapses the reachable
+comparator patterns (each parity still takes both values), so
+
+* the conditional netlists barely shrink, and
+* the per-sub-space unlocking key count stays at 1 — every wrong key
+  still errs inside every sub-space.
+
+The second property holds exactly when the parity tap matrix keeps
+rank ``|K|`` after deleting the pinned input columns — guaranteed
+whenever ``|K| <= |I| - N`` and the taps remain independent on the
+free inputs (random taps over half the inputs achieve this with high
+probability; the constructor enforces full rank over *all* inputs).
+With ``|K|`` close to ``|I|`` the guarantee degrades gracefully: a
+rank-``r`` restriction still leaves ``2^r`` reachable comparator
+patterns, so splitting buys the attacker at most ``2^(|K|-r)``
+usable keys instead of SARLock's ``2^(|K|) - 2^(|K|-N)``.
+
+The defense is not free: the parity trees add area, and like SARLock
+it keeps low output corruption.  ``splitting_resistance`` quantifies
+the defensive effect so the trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist, fresh_net_namer
+from repro.locking.base import (
+    LockedCircuit,
+    LockingError,
+    fresh_key_names,
+    key_from_int,
+)
+from repro.locking.xor_lock import splice_gate
+
+
+def entangled_sarlock(
+    netlist: Netlist,
+    key_size: int,
+    correct_key: int | Sequence[int] | None = None,
+    taps_per_bit: int | None = None,
+    flip_output: str | None = None,
+    seed: int = 0,
+    resist_effort: int = 0,
+) -> LockedCircuit:
+    """SARLock with parity-entangled comparator inputs.
+
+    Comparator bit ``j`` compares ``key_j`` against
+    ``parity(taps_j)`` where ``taps_j`` is a spread-out subset of the
+    primary inputs (``taps_per_bit`` of them, default ``|I| // 2``).
+    Functionally this is still a point function — exactly one parity
+    pattern triggers the flip per wrong key — so corruption behaviour
+    matches SARLock, but the trigger condition cannot be disabled or
+    simplified by pinning a few inputs.
+
+    ``resist_effort`` is the splitting effort ``N`` the designer wants
+    a *guarantee* against: the tap rows are then chosen as a linear
+    code of minimum distance ``N + 1``, so deleting any ``N`` input
+    columns cannot drop the comparator's rank and every sub-space
+    keeps exactly one valid key.  Such a code must exist for the
+    chosen ``(|I|, |K|, N + 1)`` (Singleton: ``N <= |I| - |K|``); the
+    greedy sampler raises if it cannot find one.  With the default
+    ``resist_effort=0`` only plain linear independence is enforced.
+    """
+    if key_size < 1:
+        raise LockingError("key_size must be positive")
+    inputs = list(netlist.inputs)
+    if len(inputs) < 2:
+        raise LockingError("need at least two primary inputs to entangle")
+    taps_per_bit = taps_per_bit or max(2, len(inputs) // 2)
+    taps_per_bit = min(taps_per_bit, len(inputs))
+    rng = random.Random(seed)
+
+    if correct_key is None:
+        correct_key = tuple(rng.getrandbits(1) for _ in range(key_size))
+    elif isinstance(correct_key, int):
+        correct_key = key_from_int(correct_key, key_size)
+    else:
+        correct_key = tuple(int(b) for b in correct_key)
+        if len(correct_key) != key_size:
+            raise LockingError("correct_key width does not match key_size")
+
+    if flip_output is None:
+        gate_driven = [o for o in netlist.outputs if o in netlist.gates]
+        if not gate_driven:
+            raise LockingError("no gate-driven primary output to corrupt")
+        flip_output = gate_driven[0]
+
+    locked = netlist.copy(name=f"{netlist.name}_esarlock{key_size}")
+    key_names = fresh_key_names(locked, key_size)
+    locked.add_inputs(key_names)
+    namer = fresh_net_namer(locked, "esl_")
+
+    # Entangled comparator: eq_j = XNOR(parity(taps_j), key_j).  The
+    # tap sets must be linearly independent over GF(2), otherwise some
+    # comparator patterns are unreachable and wrong keys whose pattern
+    # is unreachable would never err (extra correct keys).
+    if key_size > len(inputs):
+        raise LockingError(
+            "key_size cannot exceed the input count (rank bound)"
+        )
+    if resist_effort > 0:
+        tap_sets = _distance_robust_tap_sets(
+            inputs, key_size, taps_per_bit, rng, min_weight=resist_effort + 1
+        )
+    else:
+        tap_sets = _independent_tap_sets(inputs, key_size, taps_per_bit, rng)
+    eq_nets = []
+    for taps, key in zip(tap_sets, key_names):
+        parity = namer()
+        locked.add_gate(parity, GateType.XOR, taps)
+        eq = namer()
+        locked.add_gate(eq, GateType.XNOR, [parity, key])
+        eq_nets.append(eq)
+    match = namer()
+    locked.add_gate(match, GateType.AND, eq_nets)
+
+    # wrong = 1 iff key != k* (inversion pattern hardwires k*).
+    mask_lits = []
+    for key, bit in zip(key_names, correct_key):
+        if bit:
+            mask_lits.append(key)
+        else:
+            inv = namer()
+            locked.add_gate(inv, GateType.NOT, [key])
+            mask_lits.append(inv)
+    wrong = namer()
+    locked.add_gate(wrong, GateType.NAND, mask_lits)
+
+    flip = namer()
+    locked.add_gate(flip, GateType.AND, [match, wrong])
+    splice_gate(locked, flip_output, GateType.XOR, [flip], namer)
+
+    locked.validate()
+    return LockedCircuit(
+        netlist=locked,
+        key_inputs=key_names,
+        correct_key=correct_key,
+        original_inputs=inputs,
+        scheme="entangled-sarlock",
+        meta={
+            "tap_sets": tap_sets,
+            "taps_per_bit": taps_per_bit,
+            "flip_output": flip_output,
+        },
+    )
+
+
+def _distance_robust_tap_sets(
+    inputs: list[str],
+    key_size: int,
+    taps_per_bit: int,
+    rng: random.Random,
+    min_weight: int,
+    max_tries: int = 2000,
+) -> list[list[str]]:
+    """Sample tap rows spanning a GF(2) code of minimum distance
+    ``min_weight``.
+
+    Every nonzero row combination then has support on more than
+    ``min_weight - 1`` inputs, so deleting that many input columns can
+    never zero a combination — the restricted comparator keeps full
+    rank under any splitting assignment of that size.  Greedy
+    rejection sampling; raises if the parameters admit no such code
+    within the retry budget.
+    """
+    position = {net: i for i, net in enumerate(inputs)}
+    # Fixing every row's weight over-constrains the code search, so
+    # sample row weights from a window around the requested tap count
+    # (never below the required minimum distance).
+    low = max(min_weight, taps_per_bit - 2)
+    high = min(len(inputs), taps_per_bit + 2)
+    # Greedy with restarts: a bad early row can make the target code
+    # unreachable, so rebuild from scratch when progress stalls.
+    for _restart in range(max_tries // 10):
+        combos = [0]  # all XOR combinations of accepted rows
+        tap_sets: list[list[str]] = []
+        stalls = 0
+        while len(tap_sets) < key_size and stalls < 10 * key_size:
+            taps = rng.sample(inputs, rng.randint(low, high))
+            row = 0
+            for net in taps:
+                row |= 1 << position[net]
+            extended = [c ^ row for c in combos]
+            if all(bin(c).count("1") >= min_weight for c in extended):
+                combos += extended
+                tap_sets.append(taps)
+            else:
+                stalls += 1
+        if len(tap_sets) == key_size:
+            return tap_sets
+    raise LockingError(
+        f"no ({len(inputs)}, {key_size}) parity code of distance "
+        f"{min_weight} found; lower key_size or resist_effort"
+    )
+
+
+def _independent_tap_sets(
+    inputs: list[str],
+    key_size: int,
+    taps_per_bit: int,
+    rng: random.Random,
+    max_tries: int = 200,
+) -> list[list[str]]:
+    """Sample GF(2)-linearly-independent parity tap sets.
+
+    Each tap set is a row vector over the inputs; incremental Gaussian
+    elimination keeps only rows that grow the span.
+    """
+    position = {net: i for i, net in enumerate(inputs)}
+    basis: dict[int, int] = {}  # pivot bit -> reduced row bitmask
+    tap_sets: list[list[str]] = []
+    tries = 0
+    while len(tap_sets) < key_size:
+        tries += 1
+        if tries > max_tries:
+            raise LockingError(
+                "could not sample independent parity taps "
+                f"({key_size} bits over {len(inputs)} inputs)"
+            )
+        taps = rng.sample(inputs, taps_per_bit)
+        row = 0
+        for net in taps:
+            row |= 1 << position[net]
+        reduced = row
+        accepted = False
+        while reduced:
+            pivot = reduced.bit_length() - 1
+            existing = basis.get(pivot)
+            if existing is None:
+                basis[pivot] = reduced
+                accepted = True
+                break
+            reduced ^= existing
+        if accepted:
+            tap_sets.append(taps)
+        # else: row is dependent on the current basis; resample.
+    return tap_sets
+
+
+@dataclass
+class SplittingResistance:
+    """How much a splitting assignment weakens a locked circuit."""
+
+    pinned: dict[str, bool]
+    keys_unlocking_subspace: int
+    conditional_gates: int
+    original_gates: int
+
+    @property
+    def key_inflation(self) -> int:
+        """Usable keys beyond the correct one (0 = fully resistant)."""
+        return max(0, self.keys_unlocking_subspace - 1)
+
+    @property
+    def gate_reduction(self) -> float:
+        if self.original_gates == 0:
+            return 0.0
+        return 1.0 - self.conditional_gates / self.original_gates
+
+
+def splitting_resistance(
+    locked: LockedCircuit,
+    original: Netlist,
+    effort: int,
+    seed: int = 0,
+) -> SplittingResistance:
+    """Measure the two levers the multi-key attack pulls, for the
+    strongest splitting assignment the attacker's heuristic would pick.
+
+    Uses the BDD engine for exact sub-space key counting, so it scales
+    past brute force.
+    """
+    from repro.bdd.analysis import count_keys_unlocking_subspace
+    from repro.core.splitting import select_splitting_inputs
+    from repro.synth.optimize import synthesize
+
+    splitting = select_splitting_inputs(locked, effort, seed=seed)
+    pinned = {net: False for net in splitting}
+    keys = count_keys_unlocking_subspace(locked, original, pinned)
+    conditional = synthesize(locked.netlist, pin=pinned)
+    return SplittingResistance(
+        pinned=pinned,
+        keys_unlocking_subspace=keys,
+        conditional_gates=conditional.gates_after,
+        original_gates=locked.netlist.num_gates,
+    )

@@ -1,0 +1,161 @@
+"""Corruption metrics for locked circuits.
+
+:func:`error_matrix` regenerates the data behind Fig. 1(a): for every
+(input pattern, key pattern) pair, does the locked circuit err?
+:func:`keys_unlocking_subspace` counts the keys that unlock a
+restricted input sub-space — the quantity the multi-key attack
+exploits (the paper's example finds three incorrect keys unlocking the
+MSB=0 half).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulator import simulate, truth_table
+from repro.locking.base import LockedCircuit
+
+
+def _locked_truth_tables(locked: LockedCircuit) -> dict[str, int]:
+    """Exhaustive truth tables of the locked netlist (inputs + key)."""
+    total_bits = len(locked.netlist.inputs)
+    if total_bits > 22:
+        raise ValueError(
+            f"exhaustive analysis of {total_bits} total input bits is too large"
+        )
+    return truth_table(locked.netlist)
+
+
+def _pattern_index(locked: LockedCircuit, input_pattern: int, key_pattern: int) -> int:
+    """Lane index for (input, key) in the locked circuit's truth table."""
+    position = {net: i for i, net in enumerate(locked.netlist.inputs)}
+    index = 0
+    for j, net in enumerate(locked.original_inputs):
+        if (input_pattern >> j) & 1:
+            index |= 1 << position[net]
+    for j, net in enumerate(locked.key_inputs):
+        if (key_pattern >> j) & 1:
+            index |= 1 << position[net]
+    return index
+
+
+def error_matrix(locked: LockedCircuit, original: Netlist) -> list[list[bool]]:
+    """``matrix[i][k]`` is True iff key ``k`` errs on input pattern ``i``.
+
+    Input pattern bit ``j`` drives ``original.inputs[j]``; key pattern
+    bit ``j`` drives ``locked.key_inputs[j]``.  Only feasible for small
+    circuits (exhaustive over inputs x keys).
+    """
+    tt_locked = _locked_truth_tables(locked)
+    tt_orig = truth_table(original)
+    num_inputs = len(locked.original_inputs)
+    num_keys = locked.key_size
+    # Original circuit may order inputs differently; map patterns by name.
+    orig_pos = {net: i for i, net in enumerate(original.inputs)}
+
+    matrix: list[list[bool]] = []
+    for i in range(1 << num_inputs):
+        orig_index = 0
+        for j, net in enumerate(locked.original_inputs):
+            if (i >> j) & 1:
+                orig_index |= 1 << orig_pos[net]
+        row = []
+        for k in range(1 << num_keys):
+            lane = _pattern_index(locked, i, k)
+            err = any(
+                ((tt_locked[out] >> lane) & 1) != ((tt_orig[out] >> orig_index) & 1)
+                for out in original.outputs
+            )
+            row.append(err)
+        matrix.append(row)
+    return matrix
+
+
+def format_error_matrix(matrix: list[list[bool]], key_width: int) -> str:
+    """Render an error matrix the way Fig. 1(a) does (rows=inputs)."""
+    num_inputs_bits = max(1, (len(matrix) - 1).bit_length())
+    header_keys = [format(k, f"0{key_width}b")[::-1] for k in range(len(matrix[0]))]
+    # Display MSB-first like the paper (bit j of the pattern is port j).
+    header_keys = [k[::-1] for k in header_keys]
+    lines = ["input \\ key  " + " ".join(f"{k:>{key_width}}" for k in header_keys)]
+    for i, row in enumerate(matrix):
+        label = format(i, f"0{num_inputs_bits}b")
+        cells = " ".join(
+            f"{'x' if err else '.':>{key_width}}" for err in row
+        )
+        lines.append(f"{label:>11}  {cells}")
+    return "\n".join(lines)
+
+
+def error_rate(
+    locked: LockedCircuit,
+    original: Netlist,
+    key: int | Mapping[str, bool],
+    num_samples: int = 0,
+    seed: int = 0,
+) -> float:
+    """Fraction of input patterns on which ``key`` produces a wrong output.
+
+    Exhaustive when the input count allows (or ``num_samples == 0``);
+    otherwise Monte-Carlo with ``num_samples`` random patterns.
+    """
+    keyed = locked.apply_key(key)
+    n = len(original.inputs)
+    if num_samples <= 0:
+        if n > 20:
+            raise ValueError("circuit too wide for exhaustive rate; pass num_samples")
+        tt_a = truth_table(keyed)
+        tt_b = truth_table(original)
+        # keyed may list inputs in a different order than original.
+        if keyed.inputs == original.inputs:
+            diff = 0
+            for out in original.outputs:
+                diff |= tt_a[out] ^ tt_b[out]
+            return bin(diff).count("1") / (1 << n)
+        num_samples = 1 << n  # fall through to per-pattern loop
+
+    rng = random.Random(seed)
+    errors = 0
+    width = num_samples
+    stimuli = {net: rng.getrandbits(width) for net in original.inputs}
+    vals_a = simulate(keyed, stimuli, width=width)
+    vals_b = simulate(original, stimuli, width=width)
+    diff = 0
+    for out in original.outputs:
+        diff |= vals_a[out] ^ vals_b[out]
+    errors = bin(diff).count("1")
+    return errors / width
+
+
+def keys_unlocking_subspace(
+    locked: LockedCircuit,
+    original: Netlist,
+    pin: Mapping[str, bool],
+) -> list[int]:
+    """All keys producing correct outputs on every input consistent with ``pin``.
+
+    This is the quantity behind the multi-key premise: restricting the
+    input space (e.g. MSB=0) typically enlarges the set of usable keys
+    beyond the single correct one.  Exhaustive; small circuits only.
+    """
+    matrix = error_matrix(locked, original)
+    num_inputs = len(locked.original_inputs)
+    input_pos = {net: j for j, net in enumerate(locked.original_inputs)}
+    for net in pin:
+        if net not in input_pos:
+            raise ValueError(f"pinned net {net!r} is not an original input")
+
+    def consistent(i: int) -> bool:
+        return all(
+            ((i >> input_pos[net]) & 1) == int(value) for net, value in pin.items()
+        )
+
+    good = []
+    for k in range(1 << locked.key_size):
+        if all(
+            not matrix[i][k] for i in range(1 << num_inputs) if consistent(i)
+        ):
+            good.append(k)
+    return good

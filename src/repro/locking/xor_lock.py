@@ -1,0 +1,83 @@
+"""Random XOR/XNOR key-gate insertion (EPIC-style random logic locking).
+
+The original locking proposal and the workload the SAT attack [5] was
+designed to break: each key bit drives an XOR (correct bit 0) or XNOR
+(correct bit 1) spliced into a randomly chosen wire.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Gate, Netlist, fresh_net_namer
+from repro.locking.base import LockedCircuit, LockingError, fresh_key_names
+
+
+def splice_gate(
+    netlist: Netlist,
+    target: str,
+    gtype: GateType,
+    side_inputs: list[str],
+    namer,
+) -> None:
+    """Replace wire ``target`` with ``gtype(target_driver, *side_inputs)``.
+
+    The original driver is moved to a fresh net; the new gate takes
+    over the original name, so every reader (and the primary-output
+    list) sees the spliced signal without any rewiring.  ``target``
+    must be gate-driven.
+    """
+    driver = netlist.gates.pop(target, None)
+    if driver is None:
+        raise LockingError(f"cannot splice into non-gate net {target!r}")
+    moved = namer()
+    netlist.gates[moved] = Gate(moved, driver.gtype, driver.inputs)
+    netlist.gates[target] = Gate(target, gtype, tuple([moved] + side_inputs))
+
+
+def xor_lock(
+    netlist: Netlist,
+    key_size: int,
+    seed: int = 0,
+    correct_key: tuple[int, ...] | None = None,
+) -> LockedCircuit:
+    """Insert ``key_size`` XOR/XNOR key gates on random internal wires.
+
+    Each selected wire ``w`` is replaced by ``XOR(w, k_i)`` when the
+    correct key bit is 0 or ``XNOR(w, k_i)`` when it is 1, so the
+    correct key restores the original function.
+    """
+    if key_size < 1:
+        raise LockingError("key_size must be positive")
+    candidates = list(netlist.gates)
+    if len(candidates) < key_size:
+        raise LockingError(
+            f"circuit has {len(candidates)} gates, cannot host "
+            f"{key_size} key gates"
+        )
+    rng = random.Random(seed)
+    targets = rng.sample(candidates, key_size)
+    if correct_key is None:
+        correct_key = tuple(rng.getrandbits(1) for _ in range(key_size))
+    if len(correct_key) != key_size:
+        raise LockingError("correct_key width does not match key_size")
+
+    locked = netlist.copy(name=f"{netlist.name}_xorlock{key_size}")
+    key_names = fresh_key_names(locked, key_size)
+    namer = fresh_net_namer(locked, "klg_")
+
+    for key_name, target, bit in zip(key_names, targets, correct_key):
+        locked.add_input(key_name)
+        gtype = GateType.XNOR if bit else GateType.XOR
+        splice_gate(locked, target, gtype, [key_name], namer)
+
+    locked.validate()
+    return LockedCircuit(
+        netlist=locked,
+        key_inputs=key_names,
+        correct_key=tuple(correct_key),
+        original_inputs=list(netlist.inputs),
+        scheme="xor",
+        meta={"seed": seed, "targets": targets},
+    )

@@ -1,0 +1,5 @@
+"""The attacker's black-box oracle (the "working chip")."""
+
+from repro.oracle.oracle import Oracle
+
+__all__ = ["Oracle"]

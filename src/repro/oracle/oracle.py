@@ -1,0 +1,52 @@
+"""Black-box functional oracle.
+
+The SAT attack threat model grants the attacker a working unlocked
+chip that can be queried with input patterns ("obtainable through
+querying a commercially available chip").  :class:`Oracle` simulates
+that chip from the original netlist while hiding its structure behind
+a query-only interface, and counts queries so experiments can report
+oracle usage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.simulator import evaluate
+
+
+class Oracle:
+    """Query-only wrapper around the original circuit."""
+
+    def __init__(self, original: Netlist):
+        self._netlist = original
+        self.query_count = 0
+
+    @property
+    def input_names(self) -> list[str]:
+        return list(self._netlist.inputs)
+
+    @property
+    def output_names(self) -> list[str]:
+        return list(self._netlist.outputs)
+
+    def query(self, input_bits: Mapping[str, int] | Sequence[int]) -> dict[str, int]:
+        """Apply one input pattern; returns output name -> bit."""
+        self.query_count += 1
+        return evaluate(self._netlist, input_bits)
+
+    def query_int(self, pattern: int) -> int:
+        """Integer convenience: bit ``j`` of ``pattern`` drives input ``j``.
+
+        Returns the outputs packed the same way (output ``j`` = bit ``j``).
+        """
+        bits = {
+            net: (pattern >> j) & 1 for j, net in enumerate(self._netlist.inputs)
+        }
+        response = self.query(bits)
+        packed = 0
+        for j, net in enumerate(self._netlist.outputs):
+            if response[net]:
+                packed |= 1 << j
+        return packed

@@ -1,0 +1,48 @@
+"""Boolean satisfiability substrate.
+
+A self-contained CDCL SAT solver plus the CNF plumbing the rest of the
+library needs.  The paper uses MiniSAT; this package provides the same
+algorithm family (two-watched-literal propagation, VSIDS decision
+heuristic, phase saving, Luby restarts, first-UIP clause learning with
+minimization, and LBD-driven learned-clause deletion) in pure Python so
+the reproduction has no native dependencies.
+
+Literals follow the DIMACS convention: variables are positive integers
+and a negative integer denotes the negated variable.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import parse_dimacs, write_dimacs
+from repro.sat.encode import (
+    enc_and,
+    enc_buf,
+    enc_const,
+    enc_eq,
+    enc_mux,
+    enc_nand,
+    enc_nor,
+    enc_not,
+    enc_or,
+    enc_xnor,
+    enc_xor,
+)
+from repro.sat.solver import Solver, SolverStats
+
+__all__ = [
+    "CNF",
+    "Solver",
+    "SolverStats",
+    "parse_dimacs",
+    "write_dimacs",
+    "enc_and",
+    "enc_or",
+    "enc_nand",
+    "enc_nor",
+    "enc_not",
+    "enc_buf",
+    "enc_xor",
+    "enc_xnor",
+    "enc_mux",
+    "enc_eq",
+    "enc_const",
+]

@@ -1,0 +1,65 @@
+"""DIMACS CNF reader and writer.
+
+The standard interchange format, so instances produced here can be
+cross-checked against external solvers (and vice versa) when one is
+available.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.sat.cnf import CNF
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    Accepts comments (``c ...``), the problem line (``p cnf V C``) and
+    clauses possibly spanning multiple lines, each terminated by ``0``.
+    """
+    cnf = CNF()
+    declared_vars = 0
+    pending: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(fields[2])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        raise ValueError("last clause is not terminated by 0")
+    cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf
+
+
+def write_dimacs(cnf: CNF, comments: Iterable[str] = ()) -> str:
+    """Serialize a :class:`CNF` to DIMACS text."""
+    lines = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def read_dimacs_file(path: str) -> CNF:
+    """Read a DIMACS file from disk."""
+    with open(path) as handle:
+        return parse_dimacs(handle.read())
+
+
+def write_dimacs_file(cnf: CNF, path: str, comments: Iterable[str] = ()) -> None:
+    """Write a DIMACS file to disk."""
+    with open(path, "w") as handle:
+        handle.write(write_dimacs(cnf, comments))

@@ -1,0 +1,122 @@
+"""Tseitin encodings for logic gates.
+
+Each ``enc_*`` function returns the list of clauses asserting that the
+output literal equals the gate function of the input literals.  All
+literals are DIMACS integers; negations may be passed directly (e.g.
+``enc_and(o, [-a, b])`` encodes ``o = !a & b``).
+
+n-ary XOR/XNOR chains need auxiliary variables; those encoders take a
+``new_var`` callback (typically :meth:`repro.sat.cnf.CNF.new_var`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+Clause = list[int]
+
+
+def enc_and(out: int, ins: Sequence[int]) -> list[Clause]:
+    """``out = AND(ins)``; with no inputs, AND is the constant 1."""
+    if not ins:
+        return [[out]]
+    clauses: list[Clause] = [[-out, lit] for lit in ins]
+    clauses.append([out] + [-lit for lit in ins])
+    return clauses
+
+
+def enc_or(out: int, ins: Sequence[int]) -> list[Clause]:
+    """``out = OR(ins)``; with no inputs, OR is the constant 0."""
+    if not ins:
+        return [[-out]]
+    clauses: list[Clause] = [[out, -lit] for lit in ins]
+    clauses.append([-out] + list(ins))
+    return clauses
+
+
+def enc_nand(out: int, ins: Sequence[int]) -> list[Clause]:
+    """``out = NAND(ins)``."""
+    return enc_and(-out, ins)
+
+
+def enc_nor(out: int, ins: Sequence[int]) -> list[Clause]:
+    """``out = NOR(ins)``."""
+    return enc_or(-out, ins)
+
+
+def enc_not(out: int, a: int) -> list[Clause]:
+    """``out = !a``."""
+    return [[out, a], [-out, -a]]
+
+
+def enc_buf(out: int, a: int) -> list[Clause]:
+    """``out = a``."""
+    return [[-out, a], [out, -a]]
+
+
+def enc_eq(a: int, b: int) -> list[Clause]:
+    """Constrain two literals to be equal (alias of :func:`enc_buf`)."""
+    return enc_buf(a, b)
+
+
+def enc_const(out: int, value: bool) -> list[Clause]:
+    """Pin a literal to a constant."""
+    return [[out]] if value else [[-out]]
+
+
+def _enc_xor2(out: int, a: int, b: int) -> list[Clause]:
+    return [
+        [-out, a, b],
+        [-out, -a, -b],
+        [out, -a, b],
+        [out, a, -b],
+    ]
+
+
+def enc_xor(
+    out: int, ins: Sequence[int], new_var: Callable[[], int] | None = None
+) -> list[Clause]:
+    """``out = XOR(ins)``.
+
+    More than two inputs are chained pairwise through fresh variables
+    obtained from ``new_var``.
+    """
+    if not ins:
+        return [[-out]]
+    if len(ins) == 1:
+        return enc_buf(out, ins[0])
+    if len(ins) == 2:
+        return _enc_xor2(out, ins[0], ins[1])
+    if new_var is None:
+        raise ValueError("n-ary XOR with n > 2 requires a new_var allocator")
+    clauses: list[Clause] = []
+    acc = ins[0]
+    for lit in ins[1:-1]:
+        aux = new_var()
+        clauses.extend(_enc_xor2(aux, acc, lit))
+        acc = aux
+    clauses.extend(_enc_xor2(out, acc, ins[-1]))
+    return clauses
+
+
+def enc_xnor(
+    out: int, ins: Sequence[int], new_var: Callable[[], int] | None = None
+) -> list[Clause]:
+    """``out = XNOR(ins)`` (complement of the XOR chain)."""
+    return enc_xor(-out, ins, new_var)
+
+
+def enc_mux(out: int, sel: int, a: int, b: int) -> list[Clause]:
+    """``out = a if sel else b`` (sel=1 picks ``a``).
+
+    Includes the two redundant clauses that strengthen propagation when
+    ``a == b``.
+    """
+    return [
+        [-sel, -a, out],
+        [-sel, a, -out],
+        [sel, -b, out],
+        [sel, b, -out],
+        [-a, -b, out],
+        [a, b, -out],
+    ]

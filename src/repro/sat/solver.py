@@ -1,0 +1,605 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+This is the MiniSAT recipe in pure Python:
+
+* two-watched-literal unit propagation,
+* VSIDS variable activities with exponential decay,
+* phase saving,
+* Luby-sequence restarts,
+* first-UIP conflict analysis with basic clause minimization,
+* learned-clause database reduction driven by LBD ("glue") and
+  activity,
+* incremental use: clauses may be added between ``solve()`` calls and
+  each call may carry assumptions.
+
+Internally a literal is encoded as ``2 * var`` (positive) or
+``2 * var + 1`` (negative) so that negation is ``lit ^ 1`` and the
+variable is ``lit >> 1``.  The public API speaks DIMACS integers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+_LUBY_UNIT = 128  # conflicts per Luby step
+
+
+def luby(i: int) -> int:
+    """Return the *i*-th element (0-based) of the Luby sequence.
+
+    The sequence is 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... and is the
+    classic universal restart schedule (MiniSAT's formulation).
+    """
+    if i < 0:
+        raise ValueError("Luby index is 0-based")
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        seq -= 1
+        i %= size
+    return 1 << seq
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated over the lifetime of a :class:`Solver`."""
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    removed: int = 0
+    max_decision_level: int = 0
+    solve_calls: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": self.learned,
+            "removed": self.removed,
+            "max_decision_level": self.max_decision_level,
+            "solve_calls": self.solve_calls,
+        }
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "lbd", "act", "deleted")
+
+    def __init__(self, lits: list[int], learnt: bool = False):
+        self.lits = lits
+        self.learnt = learnt
+        self.lbd = 0
+        self.act = 0.0
+        self.deleted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        def ext(lit: int) -> int:
+            var = lit >> 1
+            return -var if lit & 1 else var
+
+        kind = "L" if self.learnt else "P"
+        return f"_Clause({kind}, {[ext(x) for x in self.lits]})"
+
+
+class Solver:
+    """Incremental CDCL SAT solver.
+
+    Usage::
+
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        assert s.solve()
+        assert s.model_value(2) is True
+
+    Clauses may be added after a ``solve()`` call; learned clauses are
+    kept, which makes the DIP loop of the SAT attack cheap.
+    """
+
+    def __init__(self) -> None:
+        self.stats = SolverStats()
+        self._nvars = 0
+        # Indexed by internal literal.
+        self._litval: list[int] = [0, 0]  # 1 true, -1 false, 0 unset
+        self._watches: list[list[_Clause]] = [[], []]
+        # Indexed by variable.
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._act: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._seen = bytearray(1)
+
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._order: list[tuple[float, int]] = []  # lazy max-heap entries
+
+        self._ok = True
+
+    # ------------------------------------------------------------------
+    # Variable and clause management
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def num_learnts(self) -> int:
+        return len(self._learnts)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._nvars += 1
+        v = self._nvars
+        self._litval.extend((0, 0))
+        self._watches.append([])
+        self._watches.append([])
+        self._level.append(0)
+        self._reason.append(None)
+        self._act.append(0.0)
+        self._phase.append(False)
+        self._seen.append(0)
+        heapq.heappush(self._order, (0.0, v))
+        return v
+
+    def _ensure_var(self, v: int) -> None:
+        while self._nvars < v:
+            self.new_var()
+
+    def add_clause(self, lits) -> bool:
+        """Add a clause of DIMACS literals.
+
+        Returns ``False`` if the formula is now trivially unsatisfiable
+        (adding the empty clause, or a unit contradicting level-0
+        assignments).  The solver must be at decision level 0, which is
+        always true between ``solve()`` calls.
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)  # leave any previous solution state
+        internal: list[int] = []
+        seen: set[int] = set()
+        for ext in lits:
+            if ext == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            var = abs(ext)
+            self._ensure_var(var)
+            lit = var * 2 + (1 if ext < 0 else 0)
+            if lit ^ 1 in seen:
+                return True  # tautology: x OR !x
+            if lit in seen:
+                continue
+            val = self._litval[lit]
+            if val == 1 and self._level[var] == 0:
+                return True  # already satisfied at root
+            if val == -1 and self._level[var] == 0:
+                continue  # falsified at root: drop the literal
+            seen.add(lit)
+            internal.append(lit)
+
+        if not internal:
+            self._ok = False
+            return False
+        if len(internal) == 1:
+            lit = internal[0]
+            if self._litval[lit] == -1:
+                self._ok = False
+                return False
+            if self._litval[lit] == 0:
+                self._enqueue(lit, None)
+                self._ok = self._propagate() is None
+            return self._ok
+
+        clause = _Clause(internal)
+        self._clauses.append(clause)
+        self._watches[internal[0]].append(clause)
+        self._watches[internal[1]].append(clause)
+        return True
+
+    def add_clauses(self, clause_iter) -> bool:
+        ok = True
+        for clause in clause_iter:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # ------------------------------------------------------------------
+    # Assignment trail
+    # ------------------------------------------------------------------
+    def _enqueue(self, lit: int, reason: _Clause | None) -> None:
+        var = lit >> 1
+        self._litval[lit] = 1
+        self._litval[lit ^ 1] = -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = not (lit & 1)
+        self._trail.append(lit)
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        order = self._order
+        act = self._act
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            var = lit >> 1
+            self._litval[lit] = 0
+            self._litval[lit ^ 1] = 0
+            self._reason[var] = None
+            heapq.heappush(order, (-act[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = bound
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> _Clause | None:
+        """Unit-propagate until fixpoint; return a conflict clause or None."""
+        litval = self._litval
+        watches = self._watches
+        trail = self._trail
+        confl: _Clause | None = None
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = p ^ 1
+            ws = watches[false_lit]
+            if not ws:
+                continue
+            new_ws: list[_Clause] = []
+            keep = new_ws.append
+            i = 0
+            n = len(ws)
+            while i < n:
+                c = ws[i]
+                i += 1
+                if c.deleted:
+                    continue
+                lits = c.lits
+                # Make sure the false literal is at position 1.
+                if lits[0] == false_lit:
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
+                first = lits[0]
+                if litval[first] == 1:
+                    keep(c)
+                    continue
+                # Search for a replacement watch.
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    if litval[lk] != -1:
+                        lits[1] = lk
+                        lits[k] = false_lit
+                        watches[lk].append(c)
+                        found = True
+                        break
+                if found:
+                    continue
+                keep(c)
+                if litval[first] == -1:
+                    # Conflict: keep remaining watches and bail out.
+                    while i < n:
+                        cc = ws[i]
+                        if not cc.deleted:
+                            keep(cc)
+                        i += 1
+                    confl = c
+                    break
+                # Unit clause.
+                var = first >> 1
+                litval[first] = 1
+                litval[first ^ 1] = -1
+                self._level[var] = len(self._trail_lim)
+                self._reason[var] = c
+                self._phase[var] = not (first & 1)
+                trail.append(first)
+            watches[false_lit] = new_ws
+            if confl is not None:
+                self._qhead = len(trail)
+                return confl
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        act = self._act
+        act[var] += self._var_inc
+        if act[var] > 1e100:
+            inv = 1e-100
+            for v in range(1, self._nvars + 1):
+                act[v] *= inv
+            self._var_inc *= inv
+            # All heap entries are now stale; rebuild lazily.
+            self._order = [(-act[v], v) for v in range(1, self._nvars + 1)]
+            heapq.heapify(self._order)
+        else:
+            heapq.heappush(self._order, (-act[var], var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.act += self._cla_inc
+        if clause.act > 1e20:
+            inv = 1e-20
+            for c in self._learnts:
+                c.act *= inv
+            self._cla_inc *= inv
+
+    def _analyze(self, confl: _Clause) -> tuple[list[int], int, int]:
+        """First-UIP analysis.
+
+        Returns ``(learnt_lits, backtrack_level, lbd)`` where
+        ``learnt_lits[0]`` is the asserting literal.
+        """
+        seen = self._seen
+        level = self._level
+        trail = self._trail
+        cur_level = len(self._trail_lim)
+        learnt: list[int] = [0]
+        counter = 0
+        p = -1
+        index = len(trail) - 1
+        cleanup: list[int] = []
+
+        c: _Clause | None = confl
+        while True:
+            assert c is not None
+            if c.learnt:
+                self._bump_clause(c)
+            for q in c.lits:
+                if q == p:
+                    continue
+                v = q >> 1
+                if not seen[v] and level[v] > 0:
+                    seen[v] = 1
+                    cleanup.append(v)
+                    self._bump_var(v)
+                    if level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Select next literal to resolve on.
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            p = trail[index]
+            index -= 1
+            v = p >> 1
+            c = self._reason[v]
+            seen[v] = 0
+            counter -= 1
+            if counter == 0:
+                break
+        learnt[0] = p ^ 1
+
+        # Basic clause minimization: drop literals implied by the rest.
+        for v in cleanup:
+            seen[v] = 1
+        seen[learnt[0] >> 1] = 0
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self._reason[q >> 1]
+            if reason is None:
+                minimized.append(q)
+                continue
+            for r in reason.lits:
+                rv = r >> 1
+                if rv != (q >> 1) and not seen[rv] and level[rv] > 0:
+                    minimized.append(q)
+                    break
+        learnt = minimized
+        for v in cleanup:
+            seen[v] = 0
+
+        # Backtrack level: second-highest decision level in the clause.
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if level[learnt[i] >> 1] > level[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = level[learnt[1] >> 1]
+
+        lbd = len({level[q >> 1] for q in learnt})
+        return learnt, bt_level, lbd
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> int:
+        """Return an unassigned decision literal, or -1 if none remain."""
+        order = self._order
+        litval = self._litval
+        act = self._act
+        while order:
+            neg_act, var = heapq.heappop(order)
+            # Entries are lazy: skip ones that are assigned or stale.
+            if litval[var * 2] == 0 and -neg_act == act[var]:
+                return var * 2 + (0 if self._phase[var] else 1)
+        return -1
+
+    # ------------------------------------------------------------------
+    # Learned-clause database reduction
+    # ------------------------------------------------------------------
+    def _locked(self, clause: _Clause) -> bool:
+        first_var = clause.lits[0] >> 1
+        return self._reason[first_var] is clause
+
+    def _reduce_db(self) -> None:
+        learnts = self._learnts
+        learnts.sort(key=lambda c: (c.lbd, -c.act))
+        keep_count = len(learnts) // 2
+        kept: list[_Clause] = []
+        for i, c in enumerate(learnts):
+            if c.lbd <= 2 or self._locked(c) or i < keep_count:
+                kept.append(c)
+            else:
+                c.deleted = True
+                self.stats.removed += 1
+        self._learnts = kept
+
+    # ------------------------------------------------------------------
+    # Main search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions=(), conflict_budget: int | None = None) -> bool:
+        """Search for a satisfying assignment.
+
+        ``assumptions`` is an iterable of DIMACS literals that are
+        forced for this call only.  ``conflict_budget`` optionally
+        bounds the number of conflicts; exceeding it raises
+        :class:`BudgetExhausted`.
+        """
+        self.stats.solve_calls += 1
+        if not self._ok:
+            return False
+        self._cancel_until(0)  # leave any previous solution state
+
+        assume_internal: list[int] = []
+        for ext in assumptions:
+            var = abs(ext)
+            self._ensure_var(var)
+            assume_internal.append(var * 2 + (1 if ext < 0 else 0))
+
+        max_learnts = max(1000.0, len(self._clauses) * 0.35)
+        conflicts_this_call = 0
+        restart_idx = 0
+        restart_limit = luby(restart_idx) * _LUBY_UNIT
+        conflicts_since_restart = 0
+
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats.conflicts += 1
+                conflicts_this_call += 1
+                conflicts_since_restart += 1
+                if conflict_budget is not None and conflicts_this_call > conflict_budget:
+                    self._cancel_until(0)
+                    raise BudgetExhausted(conflicts_this_call)
+                level = len(self._trail_lim)
+                if level == 0:
+                    self._ok = False
+                    return False
+                if level <= len(assume_internal):
+                    # Conflict is forced by the assumptions themselves.
+                    self._cancel_until(0)
+                    return False
+                learnt, bt_level, lbd = self._analyze(confl)
+                bt_level = max(bt_level, self._assumption_floor(assume_internal))
+                self._cancel_until(bt_level)
+                if len(learnt) == 1:
+                    self._cancel_until(0)
+                    if self._litval[learnt[0]] == -1:
+                        self._ok = False
+                        return False
+                    if self._litval[learnt[0]] == 0:
+                        self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    clause.lbd = lbd
+                    clause.act = self._cla_inc
+                    self._learnts.append(clause)
+                    self._watches[learnt[0]].append(clause)
+                    self._watches[learnt[1]].append(clause)
+                    self.stats.learned += 1
+                    self._enqueue(learnt[0], clause)
+                self._var_inc *= self._var_decay
+                self._cla_inc *= self._cla_decay
+            else:
+                if conflicts_since_restart >= restart_limit:
+                    self.stats.restarts += 1
+                    restart_idx += 1
+                    restart_limit = luby(restart_idx) * _LUBY_UNIT
+                    conflicts_since_restart = 0
+                    self._cancel_until(0)
+                    continue
+                if len(self._learnts) >= max_learnts + len(self._trail):
+                    self._reduce_db()
+                    max_learnts *= 1.1
+
+                # Apply pending assumptions, then decide.
+                lit = -1
+                level = len(self._trail_lim)
+                if level < len(assume_internal):
+                    p = assume_internal[level]
+                    if self._litval[p] == 1:
+                        # Already satisfied: open an empty level for it.
+                        self._trail_lim.append(len(self._trail))
+                        continue
+                    if self._litval[p] == -1:
+                        self._cancel_until(0)
+                        return False
+                    lit = p
+                else:
+                    lit = self._pick_branch_var()
+                    if lit == -1:
+                        # Satisfying assignment found.  The trail is kept
+                        # so model_value() can read it; the next solve()
+                        # or add_clause() backtracks to the root.
+                        return True
+                    self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                if len(self._trail_lim) > self.stats.max_decision_level:
+                    self.stats.max_decision_level = len(self._trail_lim)
+                self._enqueue(lit, None)
+
+    def _assumption_floor(self, assume_internal: list[int]) -> int:
+        """Never backtrack past levels still holding assumptions."""
+        return min(len(assume_internal), len(self._trail_lim) - 1)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def model_value(self, var: int) -> bool | None:
+        """Value of ``var`` in the current satisfying assignment.
+
+        Only meaningful directly after ``solve()`` returned True (the
+        assignment survives until the next ``solve``/``add_clause``).
+        """
+        if var < 1 or var > self._nvars:
+            return None
+        value = self._litval[var * 2]
+        if value == 0:
+            return None
+        return value == 1
+
+    def model(self) -> list[int]:
+        """Current model as a list of DIMACS literals."""
+        return [
+            v if self._litval[v * 2] == 1 else -v
+            for v in range(1, self._nvars + 1)
+        ]
+
+
+class BudgetExhausted(Exception):
+    """Raised when ``solve`` exceeds its conflict budget."""
+
+    def __init__(self, conflicts: int):
+        super().__init__(f"conflict budget exhausted after {conflicts} conflicts")
+        self.conflicts = conflicts

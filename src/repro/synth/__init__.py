@@ -1,0 +1,34 @@
+"""Logic-synthesis passes.
+
+The paper synthesizes each conditional netlist with Synopsys Design
+Compiler to "remove any redundant logic" (Algorithm 1, line 4).  This
+package provides the equivalent reduction pipeline:
+
+* constant propagation with alias/inversion tracking,
+* local Boolean rewriting (identities, duplicate/complement fanins),
+* structural hashing (common-subexpression elimination),
+* dead-gate elimination,
+* decomposition to bounded-arity gates and a Nangate-45nm-flavoured
+  cell library for area/delay estimation.
+"""
+
+from repro.synth.cleanup import remove_dead_gates
+from repro.synth.library import CellLibrary, NANGATE45ish, estimate_area, estimate_delay
+from repro.synth.mapping import decompose_to_max_arity
+from repro.synth.optimize import SynthesisResult, synthesize
+from repro.synth.simplify import propagate_constants, rewrite
+from repro.synth.strash import structural_hash
+
+__all__ = [
+    "propagate_constants",
+    "rewrite",
+    "structural_hash",
+    "remove_dead_gates",
+    "decompose_to_max_arity",
+    "synthesize",
+    "SynthesisResult",
+    "CellLibrary",
+    "NANGATE45ish",
+    "estimate_area",
+    "estimate_delay",
+]

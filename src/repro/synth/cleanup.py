@@ -1,0 +1,33 @@
+"""Dead-logic elimination."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.circuit.netlist import Netlist
+
+
+def remove_dead_gates(netlist: Netlist) -> Netlist:
+    """Drop every gate outside the transitive fanin of the outputs.
+
+    Primary inputs always stay in the interface, even if nothing reads
+    them — the locked circuit's port list must not change shape.
+    """
+    live: set[str] = set()
+    queue = deque(netlist.outputs)
+    while queue:
+        net = queue.popleft()
+        if net in live:
+            continue
+        live.add(net)
+        gate = netlist.gates.get(net)
+        if gate is not None:
+            queue.extend(gate.inputs)
+
+    result = Netlist(name=netlist.name)
+    result.inputs = list(netlist.inputs)
+    result.gates = {
+        net: gate for net, gate in netlist.gates.items() if net in live
+    }
+    result.set_outputs(list(netlist.outputs))
+    return result

@@ -1,0 +1,64 @@
+"""The synthesis pipeline used on conditional netlists.
+
+``synthesize`` strings together the individual passes the way the
+paper uses Design Compiler in Algorithm 1 line 4: pin inputs, fold
+constants, rewrite, share structure, sweep dead logic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.circuit.netlist import Netlist
+from repro.synth.cleanup import remove_dead_gates
+from repro.synth.simplify import propagate_constants, rewrite
+from repro.synth.strash import structural_hash
+
+
+@dataclass
+class SynthesisResult:
+    """Output of :func:`synthesize` plus before/after statistics."""
+
+    netlist: Netlist
+    gates_before: int
+    gates_after: int
+    elapsed_seconds: float
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of gates removed (0.0 if the netlist was empty)."""
+        if self.gates_before == 0:
+            return 0.0
+        return 1.0 - self.gates_after / self.gates_before
+
+
+def synthesize(
+    netlist: Netlist,
+    pin: Mapping[str, bool] | None = None,
+    effort: int = 2,
+) -> SynthesisResult:
+    """Optimize ``netlist``, optionally under input pins.
+
+    ``effort`` counts rewrite+strash rounds after the initial constant
+    propagation (2 reaches a fixpoint on every circuit in this repo).
+    The interface is preserved: pinned inputs stay in the port list.
+    """
+    start = time.perf_counter()
+    before = netlist.num_gates
+    current = propagate_constants(netlist, pin or {})
+    current = remove_dead_gates(current)
+    for _ in range(max(0, effort)):
+        previous = current.num_gates
+        current = rewrite(current)
+        current = structural_hash(current)
+        current = remove_dead_gates(current)
+        if current.num_gates == previous:
+            break
+    return SynthesisResult(
+        netlist=current,
+        gates_before=before,
+        gates_after=current.num_gates,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,256 @@
+"""Constant propagation and local Boolean rewriting.
+
+One pass serves both jobs.  Every net is canonicalized to a *literal*
+``(root_net, inverted)`` or to a constant; gates are rebuilt in
+topological order with:
+
+* constant folding (pinned inputs, CONST gates, const fanins),
+* inversion absorption (``NOT`` gates never survive except where a
+  primary output or a gate fanin genuinely needs the complement),
+* duplicate-fanin deduplication and complementary-fanin detection
+  (``AND(a, !a) = 0``, ``XOR(a, a) = 0``, ...),
+* MUX strength reduction (constant select / constant data inputs).
+
+The primary interface is preserved: pinned inputs stay in
+``netlist.inputs`` so locked-circuit/oracle correspondences survive;
+only the *logic* is folded.  Primary-output names are preserved by
+materializing a BUF/NOT/CONST driver when an output collapses to a
+literal or constant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Gate, Netlist, fresh_net_namer
+
+# A canonical value is either ('const', bool) or ('lit', root, inverted).
+_CONST = "const"
+_LIT = "lit"
+
+
+def _const(value: bool) -> tuple:
+    return (_CONST, bool(value))
+
+
+def _lit(root: str, inverted: bool) -> tuple:
+    return (_LIT, root, inverted)
+
+
+class _Builder:
+    """Accumulates the simplified netlist and materializes literals."""
+
+    def __init__(self, original: Netlist):
+        self.out = Netlist(name=original.name)
+        self.out.inputs = list(original.inputs)
+        self.namer = fresh_net_namer(original, "syn_")
+        self._not_cache: dict[str, str] = {}
+        self._const_cache: dict[bool, str] = {}
+
+    def materialize(self, canon: tuple) -> str:
+        """Return a net name carrying the canonical value."""
+        if canon[0] == _CONST:
+            value = canon[1]
+            cached = self._const_cache.get(value)
+            if cached is None:
+                cached = self.namer()
+                gtype = GateType.CONST1 if value else GateType.CONST0
+                self.out.add_gate(cached, gtype, [])
+                self._const_cache[value] = cached
+            return cached
+        _, root, inverted = canon
+        if not inverted:
+            return root
+        cached = self._not_cache.get(root)
+        if cached is None:
+            cached = self.namer()
+            self.out.add_gate(cached, GateType.NOT, [root])
+            self._not_cache[root] = cached
+        return cached
+
+    def emit(self, output: str, gtype: GateType, fanin_canons: list[tuple]) -> tuple:
+        """Emit a real gate under its original output name."""
+        fanins = [self.materialize(c) for c in fanin_canons]
+        self.out.add_gate(output, gtype, fanins)
+        return _lit(output, False)
+
+    def emit_output_driver(self, name: str, canon: tuple) -> None:
+        """Give primary output ``name`` a driver matching ``canon``."""
+        if name in self.out.gates or name in self.out.inputs:
+            return  # already driven under its own name
+        if canon[0] == _CONST:
+            gtype = GateType.CONST1 if canon[1] else GateType.CONST0
+            self.out.add_gate(name, gtype, [])
+            return
+        _, root, inverted = canon
+        if inverted:
+            self.out.add_gate(name, GateType.NOT, [root])
+        else:
+            self.out.add_gate(name, GateType.BUF, [root])
+
+
+def _simplify_andor(
+    gtype: GateType, canons: list[tuple]
+) -> tuple | tuple[GateType, list[tuple]]:
+    """Simplify AND/OR/NAND/NOR given canonical fanins.
+
+    Returns either a canonical value (fully simplified) or a
+    ``(gate_type, fanin_canons)`` pair to emit.
+    """
+    is_and = gtype in (GateType.AND, GateType.NAND)
+    invert_out = gtype in (GateType.NAND, GateType.NOR)
+    absorbing = not is_and  # OR absorbs on 1, AND on 0
+    kept: list[tuple] = []
+    seen: dict[str, bool] = {}
+    for canon in canons:
+        if canon[0] == _CONST:
+            if canon[1] == absorbing:
+                return _const(absorbing ^ invert_out)
+            continue  # identity element: drop
+        _, root, inverted = canon
+        if root in seen:
+            if seen[root] != inverted:
+                return _const(absorbing ^ invert_out)  # a & !a / a | !a
+            continue  # duplicate
+        seen[root] = inverted
+        kept.append(canon)
+    if not kept:
+        return _const((not absorbing) ^ invert_out)
+    if len(kept) == 1:
+        _, root, inverted = kept[0]
+        return _lit(root, inverted ^ invert_out)
+    base = GateType.AND if is_and else GateType.OR
+    out_type = (
+        (GateType.NAND if is_and else GateType.NOR) if invert_out else base
+    )
+    return (out_type, kept)
+
+
+def _simplify_xor(
+    gtype: GateType, canons: list[tuple]
+) -> tuple | tuple[GateType, list[tuple]]:
+    """Simplify XOR/XNOR: fold constants and inversions into parity."""
+    parity = gtype is GateType.XNOR
+    counts: dict[str, int] = {}
+    for canon in canons:
+        if canon[0] == _CONST:
+            parity ^= canon[1]
+            continue
+        _, root, inverted = canon
+        parity ^= inverted
+        counts[root] = counts.get(root, 0) + 1
+    roots = [root for root, count in counts.items() if count % 2 == 1]
+    if not roots:
+        return _const(parity)
+    if len(roots) == 1:
+        return _lit(roots[0], parity)
+    out_type = GateType.XNOR if parity else GateType.XOR
+    return (out_type, [_lit(root, False) for root in roots])
+
+
+def _simplify_mux(
+    sel: tuple, d1: tuple, d0: tuple
+) -> tuple | tuple[GateType, list[tuple]]:
+    """Simplify MUX(sel, d1, d0)."""
+    if sel[0] == _CONST:
+        return d1 if sel[1] else d0
+    if d1 == d0:
+        return d1
+    _, sel_root, sel_inv = sel
+    if sel_inv:  # normalize to non-inverted select by swapping branches
+        d1, d0 = d0, d1
+        sel = _lit(sel_root, False)
+    d1_const = d1[0] == _CONST
+    d0_const = d0[0] == _CONST
+    if d1_const and d0_const:
+        # values differ (d1 == d0 handled above)
+        return _lit(sel_root, not d1[1])  # (1,0) -> sel ; (0,1) -> !sel
+    if d1_const:
+        if d1[1]:  # MUX(s, 1, d0) = s | d0
+            return (GateType.OR, [sel, d0])
+        # MUX(s, 0, d0) = !s & d0
+        return (GateType.AND, [_lit(sel_root, True), d0])
+    if d0_const:
+        if d0[1]:  # MUX(s, d1, 1) = !s | d1
+            return (GateType.OR, [_lit(sel_root, True), d1])
+        # MUX(s, d1, 0) = s & d1
+        return (GateType.AND, [sel, d1])
+    # Select on complements of the same root: MUX(s, !x, x) = s ^ x.
+    if d1[0] == _LIT and d0[0] == _LIT and d1[1] == d0[1]:
+        if d1[2] != d0[2]:
+            inverted = d0[2]
+            return (
+                GateType.XNOR if inverted else GateType.XOR,
+                [sel, _lit(d1[1], False)],
+            )
+    return (GateType.MUX, [sel, d1, d0])
+
+
+def simplify(netlist: Netlist, pin: Mapping[str, bool] | None = None) -> Netlist:
+    """Rebuild ``netlist`` with constants/pins folded and identities applied.
+
+    ``pin`` assigns constants to primary inputs; those inputs remain in
+    the interface but their fanout logic collapses.  The result is
+    functionally equivalent for all input patterns consistent with the
+    pins.
+    """
+    pin = dict(pin or {})
+    for net in pin:
+        if net not in netlist.inputs:
+            raise ValueError(f"pinned net {net!r} is not a primary input")
+    builder = _Builder(netlist)
+    canon: dict[str, tuple] = {}
+    for net in netlist.inputs:
+        canon[net] = _const(pin[net]) if net in pin else _lit(net, False)
+
+    for gate in netlist.topological_order():
+        fanins = [canon[src] for src in gate.inputs]
+        gtype = gate.gtype
+        if gtype is GateType.CONST0:
+            result: tuple | tuple[GateType, list[tuple]] = _const(False)
+        elif gtype is GateType.CONST1:
+            result = _const(True)
+        elif gtype is GateType.BUF:
+            result = fanins[0]
+        elif gtype is GateType.NOT:
+            src = fanins[0]
+            if src[0] == _CONST:
+                result = _const(not src[1])
+            else:
+                result = _lit(src[1], not src[2])
+        elif gtype in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR):
+            result = _simplify_andor(gtype, fanins)
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            result = _simplify_xor(gtype, fanins)
+        elif gtype is GateType.MUX:
+            result = _simplify_mux(fanins[0], fanins[1], fanins[2])
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unsupported gate type {gtype!r}")
+
+        if isinstance(result[0], GateType):
+            out_type, fanin_canons = result
+            canon[gate.output] = builder.emit(gate.output, out_type, fanin_canons)
+        else:
+            canon[gate.output] = result
+
+    simplified = builder.out
+    for out in netlist.outputs:
+        builder.emit_output_driver(out, canon[out])
+    simplified.set_outputs(list(netlist.outputs))
+    return simplified
+
+
+def propagate_constants(netlist: Netlist, pin: Mapping[str, bool]) -> Netlist:
+    """Pin primary inputs to constants and fold the resulting logic.
+
+    This implements the reduction step of Algorithm 1 line 4: the
+    conditional netlist keeps its full interface, but every gate whose
+    value is forced by the pins disappears.
+    """
+    return simplify(netlist, pin)
+
+
+def rewrite(netlist: Netlist) -> Netlist:
+    """Apply local Boolean identities without pinning any input."""
+    return simplify(netlist, None)

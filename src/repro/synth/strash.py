@@ -1,0 +1,52 @@
+"""Structural hashing (common-subexpression elimination).
+
+Two gates computing the same function of the same fanins collapse into
+one.  Commutative gate fanins are sorted inside the hash key, so
+``AND(a, b)`` and ``AND(b, a)`` merge; MUX keys keep their input order.
+A single topological sweep reaches the fixpoint because merged fanins
+are remapped before downstream gates are keyed.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Gate, Netlist
+
+_COMMUTATIVE = {
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+}
+
+
+def structural_hash(netlist: Netlist) -> Netlist:
+    """Merge structurally identical gates; preserves the interface."""
+    result = Netlist(name=netlist.name)
+    result.inputs = list(netlist.inputs)
+    canonical: dict[str, str] = {net: net for net in netlist.inputs}
+    table: dict[tuple, str] = {}
+
+    for gate in netlist.topological_order():
+        fanins = tuple(canonical[src] for src in gate.inputs)
+        if gate.gtype in _COMMUTATIVE:
+            key = (gate.gtype, tuple(sorted(fanins)))
+        else:
+            key = (gate.gtype, fanins)
+        existing = table.get(key)
+        if existing is not None:
+            canonical[gate.output] = existing
+            continue
+        table[key] = gate.output
+        canonical[gate.output] = gate.output
+        result.gates[gate.output] = Gate(gate.output, gate.gtype, fanins)
+
+    # Primary outputs whose driver merged away need a BUF to keep their name.
+    for out in netlist.outputs:
+        rep = canonical.get(out, out)
+        if rep != out and out not in result.gates and out not in result.inputs:
+            result.gates[out] = Gate(out, GateType.BUF, (rep,))
+    result.set_outputs(list(netlist.outputs))
+    return result

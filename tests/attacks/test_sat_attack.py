@@ -1,0 +1,188 @@
+"""SAT-attack tests: recovery, pinning, budgets, oracle accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks.brute_force import brute_force_keys
+from repro.attacks.sat_attack import sat_attack, verify_key_against_oracle
+from repro.circuit.random_circuits import random_netlist
+from repro.locking.antisat import antisat_lock
+from repro.locking.lut_lock import LutModuleSpec, lut_lock
+from repro.locking.sarlock import sarlock_lock
+from repro.locking.xor_lock import xor_lock
+from repro.oracle.oracle import Oracle
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_xor_lock_recovered(self, seed):
+        original = random_netlist(7, 50, seed=seed)
+        locked = xor_lock(original, 6, seed=seed)
+        result = sat_attack(locked, Oracle(original))
+        assert result.succeeded
+        assert locked.verify_key(original, result.key).equivalent
+
+    def test_sarlock_recovered_with_exact_dip_count(self):
+        original = random_netlist(8, 50, seed=7)
+        locked = sarlock_lock(original, 5, seed=1)
+        result = sat_attack(locked, Oracle(original))
+        assert result.succeeded
+        assert result.key_int == locked.correct_key_int
+        assert result.num_dips == 2**5 - 1  # one DIP per wrong key
+
+    def test_antisat_recovered(self):
+        original = random_netlist(7, 40, seed=9)
+        locked = antisat_lock(original, 4, seed=2)
+        result = sat_attack(locked, Oracle(original))
+        assert result.succeeded
+        assert locked.verify_key(original, result.key).equivalent
+
+    def test_lut_lock_recovered(self):
+        original = random_netlist(8, 60, seed=11)
+        locked = lut_lock(original, LutModuleSpec.tiny(), seed=3)
+        result = sat_attack(locked, Oracle(original))
+        assert result.succeeded
+        assert locked.verify_key(original, result.key).equivalent
+
+    def test_unused_key_bits_default(self):
+        """Keys not influencing any output are returned arbitrarily but
+        the attack still succeeds."""
+        original = random_netlist(6, 30, seed=5)
+        locked = xor_lock(original, 3, seed=5)
+        # Add a dangling key input.
+        locked.netlist.add_input("keyinput_unused")
+        locked.key_inputs.append("keyinput_unused")
+        locked.correct_key = tuple(locked.correct_key) + (0,)
+        result = sat_attack(locked, Oracle(original))
+        assert result.succeeded
+
+
+class TestPinnedAttacks:
+    @given(pin_bits=st.integers(0, 3))
+    def test_pinned_key_unlocks_subspace(self, pin_bits):
+        original = random_netlist(6, 35, seed=21)
+        locked = sarlock_lock(original, 4, seed=2)
+        pin = {
+            original.inputs[0]: bool(pin_bits & 1),
+            original.inputs[1]: bool(pin_bits & 2),
+        }
+        result = sat_attack(locked, Oracle(original), pin=pin)
+        assert result.succeeded
+        good = brute_force_keys(locked, Oracle(original), pin=pin)
+        assert result.key_int in good
+
+    def test_pinning_reduces_dips_for_sarlock(self):
+        original = random_netlist(8, 40, seed=23)
+        locked = sarlock_lock(original, 5, seed=0)
+        full = sat_attack(locked, Oracle(original))
+        pinned = sat_attack(
+            locked, Oracle(original), pin={original.inputs[0]: False}
+        )
+        assert pinned.num_dips < full.num_dips
+
+    def test_pin_on_key_port_rejected(self):
+        original = random_netlist(6, 30, seed=2)
+        locked = xor_lock(original, 3, seed=1)
+        with pytest.raises(ValueError):
+            sat_attack(
+                locked, Oracle(original), pin={locked.key_inputs[0]: True}
+            )
+
+    def test_pin_on_unknown_net_rejected(self):
+        original = random_netlist(6, 30, seed=2)
+        locked = xor_lock(original, 3, seed=1)
+        with pytest.raises(ValueError):
+            sat_attack(locked, Oracle(original), pin={"ghost": True})
+
+
+class TestBudgets:
+    def test_max_dips(self):
+        original = random_netlist(8, 40, seed=31)
+        locked = sarlock_lock(original, 6, seed=0)
+        result = sat_attack(locked, Oracle(original), max_dips=5)
+        assert result.status == "dip_limit"
+        assert result.num_dips == 5
+        assert result.key is None
+
+    def test_time_limit(self):
+        original = random_netlist(8, 40, seed=32)
+        locked = sarlock_lock(original, 8, seed=0)
+        result = sat_attack(locked, Oracle(original), time_limit=0.05)
+        assert result.status == "timeout"
+        assert result.key is None
+
+    def test_iteration_records(self):
+        original = random_netlist(6, 30, seed=33)
+        locked = sarlock_lock(original, 3, seed=0)
+        result = sat_attack(locked, Oracle(original), record_iterations=True)
+        assert len(result.iterations) == result.num_dips
+        assert all(it.elapsed_seconds >= 0 for it in result.iterations)
+        dips = [it.dip for it in result.iterations]
+        assert all(set(d) == set(locked.original_inputs) for d in dips)
+
+    def test_record_iterations_off(self):
+        original = random_netlist(6, 30, seed=34)
+        locked = sarlock_lock(original, 3, seed=0)
+        result = sat_attack(locked, Oracle(original), record_iterations=False)
+        assert result.iterations == []
+
+
+class TestOracleAccounting:
+    def test_queries_equal_dips(self):
+        original = random_netlist(7, 35, seed=41)
+        locked = sarlock_lock(original, 4, seed=0)
+        oracle = Oracle(original)
+        result = sat_attack(locked, oracle)
+        assert oracle.query_count == result.num_dips
+        assert result.oracle_queries == result.num_dips
+
+
+class TestVerifyAgainstOracle:
+    def test_correct_key_passes(self):
+        original = random_netlist(6, 30, seed=51)
+        locked = xor_lock(original, 4, seed=1)
+        assert verify_key_against_oracle(
+            locked, locked.correct_key_int, Oracle(original)
+        )
+
+    def test_corrupting_key_fails(self):
+        original = random_netlist(6, 30, seed=52)
+        locked = xor_lock(original, 4, seed=1)
+        wrong = locked.correct_key_int ^ 0b1111
+        assert not verify_key_against_oracle(
+            locked, wrong, Oracle(original), num_samples=256
+        )
+
+    def test_subspace_key_passes_with_pin(self):
+        original = random_netlist(6, 30, seed=53)
+        locked = sarlock_lock(original, 4, seed=3)
+        pin = {original.inputs[0]: False}
+        good = brute_force_keys(locked, Oracle(original), pin=pin)
+        subspace_only = [k for k in good if k != locked.correct_key_int]
+        if subspace_only:
+            key = subspace_only[0]
+            assert verify_key_against_oracle(
+                locked, key, Oracle(original), pin=pin, num_samples=128
+            )
+
+
+class TestBruteForce:
+    def test_full_space_finds_only_correct_sarlock_key(self):
+        original = random_netlist(5, 25, seed=61)
+        locked = sarlock_lock(original, 4, seed=2)
+        assert brute_force_keys(locked, Oracle(original)) == [
+            locked.correct_key_int
+        ]
+
+    def test_antisat_diagonal_keys(self):
+        original = random_netlist(5, 25, seed=62)
+        locked = antisat_lock(original, 3, seed=2)
+        good = brute_force_keys(locked, Oracle(original))
+        expected = [h | (h << 3) for h in range(8)]
+        assert sorted(good) == sorted(expected)
+
+    def test_size_guard(self):
+        original = random_netlist(12, 40, seed=63)
+        locked = xor_lock(original, 12, seed=0)
+        with pytest.raises(ValueError):
+            brute_force_keys(locked, Oracle(original))

@@ -1,0 +1,169 @@
+"""BDD manager unit and property tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+
+
+@pytest.fixture
+def mgr3():
+    m = BddManager()
+    for _ in range(3):
+        m.new_var()
+    return m
+
+
+class TestBasics:
+    def test_terminals(self, mgr3):
+        assert mgr3.apply_and(TRUE, TRUE) == TRUE
+        assert mgr3.apply_and(TRUE, FALSE) == FALSE
+        assert mgr3.apply_or(FALSE, FALSE) == FALSE
+
+    def test_var_and_negation(self, mgr3):
+        x = mgr3.var(0)
+        nx = mgr3.nvar(0)
+        assert mgr3.apply_not(x) == nx
+        assert mgr3.apply_and(x, nx) == FALSE
+        assert mgr3.apply_or(x, nx) == TRUE
+
+    def test_canonicity(self, mgr3):
+        x, y = mgr3.var(0), mgr3.var(1)
+        a = mgr3.apply_and(x, y)
+        b = mgr3.apply_and(y, x)
+        assert a == b  # same function -> same node
+
+    def test_undeclared_level_rejected(self, mgr3):
+        with pytest.raises(ValueError):
+            mgr3.var(5)
+
+    def test_node_limit(self):
+        m = BddManager(max_nodes=8)
+        for _ in range(6):
+            m.new_var()
+        with pytest.raises(MemoryError):
+            f = FALSE
+            for level in range(6):
+                f = m.apply_xor(f, m.var(level))
+
+    def test_evaluate(self, mgr3):
+        x, y, z = (mgr3.var(i) for i in range(3))
+        f = mgr3.apply_or(mgr3.apply_and(x, y), z)
+        assert mgr3.evaluate(f, {0: True, 1: True, 2: False})
+        assert not mgr3.evaluate(f, {0: True, 1: False, 2: False})
+
+    def test_size(self, mgr3):
+        x, y = mgr3.var(0), mgr3.var(1)
+        assert mgr3.size(x) == 1
+        # No complement edges: XOR = (x ? !y : y) is 3 nodes.
+        assert mgr3.size(mgr3.apply_xor(x, y)) == 3
+
+
+class TestSemantics:
+    """Exhaustive comparison against Python lambdas on 3 variables."""
+
+    FUNCS = [
+        ("and", lambda a, b, c: a and b, lambda m, x, y, z: m.apply_and(x, y)),
+        ("or", lambda a, b, c: a or c, lambda m, x, y, z: m.apply_or(x, z)),
+        ("xor", lambda a, b, c: a ^ b, lambda m, x, y, z: m.apply_xor(x, y)),
+        (
+            "xnor",
+            lambda a, b, c: not (a ^ c),
+            lambda m, x, y, z: m.apply_xnor(x, z),
+        ),
+        (
+            "nand",
+            lambda a, b, c: not (a and b),
+            lambda m, x, y, z: m.apply_nand(x, y),
+        ),
+        (
+            "nor",
+            lambda a, b, c: not (b or c),
+            lambda m, x, y, z: m.apply_nor(y, z),
+        ),
+        (
+            "mux",
+            lambda a, b, c: b if a else c,
+            lambda m, x, y, z: m.apply_mux(x, y, z),
+        ),
+        (
+            "maj",
+            lambda a, b, c: (a and b) or (a and c) or (b and c),
+            lambda m, x, y, z: m.apply_or(
+                m.apply_or(m.apply_and(x, y), m.apply_and(x, z)),
+                m.apply_and(y, z),
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize("name,py,build", FUNCS, ids=[f[0] for f in FUNCS])
+    def test_exhaustive(self, mgr3, name, py, build):
+        x, y, z = (mgr3.var(i) for i in range(3))
+        f = build(mgr3, x, y, z)
+        for a, b, c in itertools.product([False, True], repeat=3):
+            assert mgr3.evaluate(f, {0: a, 1: b, 2: c}) == bool(py(a, b, c))
+
+
+class TestRestrictQuantify:
+    def test_restrict(self, mgr3):
+        x, y = mgr3.var(0), mgr3.var(1)
+        f = mgr3.apply_and(x, y)
+        assert mgr3.restrict(f, 0, True) == y
+        assert mgr3.restrict(f, 0, False) == FALSE
+
+    def test_exists(self, mgr3):
+        x, y = mgr3.var(0), mgr3.var(1)
+        f = mgr3.apply_and(x, y)
+        assert mgr3.exists(f, [0]) == y
+        assert mgr3.exists(f, [0, 1]) == TRUE
+
+    def test_forall(self, mgr3):
+        x, y = mgr3.var(0), mgr3.var(1)
+        f = mgr3.apply_or(x, y)
+        assert mgr3.forall(f, [0]) == y
+        assert mgr3.forall(f, [0, 1]) == FALSE
+
+    def test_support(self, mgr3):
+        x, z = mgr3.var(0), mgr3.var(2)
+        f = mgr3.apply_xor(x, z)
+        assert mgr3.support(f) == {0, 2}
+
+
+class TestCounting:
+    def test_simple_counts(self, mgr3):
+        x, y = mgr3.var(0), mgr3.var(1)
+        assert mgr3.count_models(mgr3.apply_and(x, y), [0, 1]) == 1
+        assert mgr3.count_models(mgr3.apply_or(x, y), [0, 1]) == 3
+        assert mgr3.count_models(mgr3.apply_xor(x, y), [0, 1]) == 2
+        assert mgr3.count_models(TRUE, [0, 1, 2]) == 8
+        assert mgr3.count_models(FALSE, [0, 1]) == 0
+
+    def test_free_variables_double(self, mgr3):
+        x = mgr3.var(0)
+        assert mgr3.count_models(x, [0, 1, 2]) == 4
+
+    def test_stray_support_rejected(self, mgr3):
+        x, y = mgr3.var(0), mgr3.var(1)
+        with pytest.raises(ValueError):
+            mgr3.count_models(mgr3.apply_and(x, y), [0])
+
+    @given(
+        truth=st.integers(0, 255),
+    )
+    def test_count_matches_truth_table(self, truth):
+        """Build an arbitrary 3-var function from its truth table via
+        minterms; the model count must equal its popcount."""
+        m = BddManager()
+        for _ in range(3):
+            m.new_var()
+        f = FALSE
+        for idx in range(8):
+            if (truth >> idx) & 1:
+                term = TRUE
+                for j in range(3):
+                    lit = m.var(j) if (idx >> j) & 1 else m.nvar(j)
+                    term = m.apply_and(term, lit)
+                f = m.apply_or(f, term)
+        assert m.count_models(f, [0, 1, 2]) == bin(truth).count("1")

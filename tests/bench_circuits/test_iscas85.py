@@ -1,0 +1,85 @@
+"""ISCAS'85 stand-in tests: interfaces, scaling, the real c17."""
+
+import pytest
+
+from repro.bench_circuits.iscas85 import (
+    ISCAS85_PROFILES,
+    c17,
+    iscas85_like,
+    iscas85_names,
+)
+from repro.circuit.simulator import evaluate, truth_table
+
+
+class TestC17:
+    def test_structure(self):
+        n = c17()
+        assert len(n.inputs) == 5
+        assert len(n.outputs) == 2
+        assert n.num_gates == 6
+        assert all(g.gtype.value == "NAND" for g in n.gates.values())
+
+    def test_known_vectors(self):
+        n = c17()
+        # All-zero inputs: G11 = NAND(0,0)=1, G16 = NAND(0,1)=1,
+        # G10 = 1, G19 = NAND(1,0)=1, G22 = NAND(1,1)=0, G23 = 0.
+        outs = evaluate(n, {"G1": 0, "G2": 0, "G3": 0, "G6": 0, "G7": 0})
+        assert outs == {"G22": 0, "G23": 0}
+        outs = evaluate(n, {"G1": 1, "G2": 1, "G3": 1, "G6": 1, "G7": 1})
+        assert outs == {"G22": 1, "G23": 0}
+
+    def test_not_constant(self):
+        tt = truth_table(c17())
+        assert tt["G22"] not in (0, (1 << 32) - 1)
+
+
+class TestProfiles:
+    def test_all_names_build_small(self):
+        for name in iscas85_names():
+            n = iscas85_like(name, scale=0.2)
+            n.validate()
+            assert n.num_gates > 0
+
+    @pytest.mark.parametrize(
+        "name", ["c432", "c499", "c880", "c1355", "c1908", "c6288"]
+    )
+    def test_full_scale_interface_matches(self, name):
+        profile = ISCAS85_PROFILES[name]
+        n = iscas85_like(name, scale=1.0)
+        assert len(n.inputs) == profile["pi"]
+        assert len(n.outputs) == profile["po"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            iscas85_like("c9999")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            iscas85_like("c880", scale=0)
+
+    def test_scale_monotone_in_gates(self):
+        small = iscas85_like("c6288", 0.2)
+        big = iscas85_like("c6288", 0.5)
+        assert small.num_gates < big.num_gates
+
+    def test_no_interface_matching(self):
+        n = iscas85_like("c7552", 0.5, match_interface=False)
+        n.validate()
+
+    def test_padding_is_observable(self):
+        """Padded inputs must influence padded outputs."""
+        n = iscas85_like("c5315", 0.3)
+        pads = [net for net in n.inputs if net.startswith("xpad")]
+        assert pads
+        base = {net: 0 for net in n.inputs}
+        ref = evaluate(n, base)
+        flipped = dict(base)
+        flipped[pads[0]] = 1
+        got = evaluate(n, flipped)
+        assert got != ref
+
+    def test_determinism(self):
+        a = iscas85_like("c2670", 0.3)
+        b = iscas85_like("c2670", 0.3)
+        assert a.gates == b.gates
+        assert a.inputs == b.inputs

@@ -1,0 +1,65 @@
+"""Property test: the Tseitin netlist encoding agrees with simulation."""
+
+from hypothesis import given, strategies as st
+
+from repro.circuit.cnf import encode_netlist
+from repro.circuit.random_circuits import random_netlist
+from repro.circuit.simulator import evaluate
+from repro.sat.cnf import CNF
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    pattern=st.integers(0, 31),
+    allow_const=st.booleans(),
+)
+def test_encoding_matches_simulation(seed, pattern, allow_const):
+    """Force the inputs in CNF; the unique model must match simulation."""
+    netlist = random_netlist(5, 30, seed=seed, allow_const=allow_const)
+    enc = encode_netlist(netlist)
+    cnf = enc.cnf
+    for j, net in enumerate(netlist.inputs):
+        cnf.add_clause([enc.lit(net, bool((pattern >> j) & 1))])
+    solver = cnf.to_solver()
+    assert solver.solve()
+    expected = evaluate(
+        netlist, {net: (pattern >> j) & 1 for j, net in enumerate(netlist.inputs)}
+    )
+    for out in netlist.outputs:
+        assert solver.model_value(enc.var_of[out]) == bool(expected[out])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_wrong_output_is_unsat(seed):
+    """Forcing any output to the wrong value must be unsatisfiable."""
+    netlist = random_netlist(4, 20, seed=seed)
+    enc = encode_netlist(netlist)
+    cnf = enc.cnf
+    pattern = seed % 16
+    bits = {net: (pattern >> j) & 1 for j, net in enumerate(netlist.inputs)}
+    for net, bit in bits.items():
+        cnf.add_clause([enc.lit(net, bool(bit))])
+    out = netlist.outputs[0]
+    expected = evaluate(netlist, bits)[out]
+    cnf.add_clause([enc.lit(out, not expected)])
+    assert cnf.to_solver().solve() is False
+
+
+def test_share_map_reuses_variables():
+    netlist = random_netlist(3, 8, seed=1)
+    cnf = CNF()
+    first = encode_netlist(netlist, cnf)
+    shared = {net: first.var_of[net] for net in netlist.inputs}
+    second = encode_netlist(netlist, cnf, share=shared)
+    for net in netlist.inputs:
+        assert first.var_of[net] == second.var_of[net]
+    for net in netlist.gates:
+        assert first.var_of[net] != second.var_of[net]
+
+
+def test_lit_helper_polarity():
+    netlist = random_netlist(2, 3, seed=0)
+    enc = encode_netlist(netlist)
+    var = enc.var_of[netlist.inputs[0]]
+    assert enc.lit(netlist.inputs[0], True) == var
+    assert enc.lit(netlist.inputs[0], False) == -var

@@ -1,0 +1,86 @@
+"""Exhaustive single-bit and bit-parallel gate evaluation tests."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.gates import (
+    GateType,
+    eval_gate,
+    eval_gate_const,
+    inverted_type,
+    valid_arity,
+)
+
+_REFERENCE = {
+    GateType.AND: lambda bits: all(bits),
+    GateType.OR: lambda bits: any(bits),
+    GateType.NAND: lambda bits: not all(bits),
+    GateType.NOR: lambda bits: not any(bits),
+    GateType.XOR: lambda bits: sum(bits) % 2 == 1,
+    GateType.XNOR: lambda bits: sum(bits) % 2 == 0,
+    GateType.NOT: lambda bits: not bits[0],
+    GateType.BUF: lambda bits: bits[0],
+    GateType.MUX: lambda bits: bits[1] if bits[0] else bits[2],
+}
+
+
+@pytest.mark.parametrize("gtype", list(_REFERENCE))
+def test_single_bit_matches_reference(gtype):
+    arities = {GateType.NOT: [1], GateType.BUF: [1], GateType.MUX: [3]}.get(
+        gtype, [1, 2, 3, 4]
+    )
+    for arity in arities:
+        if not valid_arity(gtype, arity):
+            continue
+        for bits in itertools.product([0, 1], repeat=arity):
+            expected = int(_REFERENCE[gtype](bits))
+            assert eval_gate_const(gtype, bits) == expected, (gtype, bits)
+
+
+def test_consts():
+    assert eval_gate(GateType.CONST0, [], 0b1111) == 0
+    assert eval_gate(GateType.CONST1, [], 0b1111) == 0b1111
+
+
+def test_bit_parallel_lanes_are_independent():
+    # 4 lanes of AND: lane i = a_i & b_i
+    a, b, mask = 0b1100, 0b1010, 0b1111
+    assert eval_gate(GateType.AND, [a, b], mask) == 0b1000
+    assert eval_gate(GateType.NAND, [a, b], mask) == 0b0111
+    assert eval_gate(GateType.XOR, [a, b], mask) == 0b0110
+    assert eval_gate(GateType.MUX, [0b1100, a, b], mask) == 0b1110
+
+
+def test_inversion_respects_mask():
+    assert eval_gate(GateType.NOT, [0b0101], 0b1111) == 0b1010
+    assert eval_gate(GateType.NOR, [0, 0], 0b11) == 0b11
+
+
+@pytest.mark.parametrize(
+    "gtype,arity,ok",
+    [
+        (GateType.NOT, 1, True),
+        (GateType.NOT, 2, False),
+        (GateType.MUX, 3, True),
+        (GateType.MUX, 2, False),
+        (GateType.AND, 1, True),
+        (GateType.AND, 9, True),
+        (GateType.CONST0, 0, True),
+        (GateType.CONST0, 1, False),
+    ],
+)
+def test_valid_arity(gtype, arity, ok):
+    assert valid_arity(gtype, arity) is ok
+
+
+def test_inverted_type_pairs():
+    assert inverted_type(GateType.AND) is GateType.NAND
+    assert inverted_type(GateType.NAND) is GateType.AND
+    assert inverted_type(GateType.XOR) is GateType.XNOR
+    assert inverted_type(GateType.MUX) is None
+
+
+def test_unknown_gate_type_rejected():
+    with pytest.raises(ValueError):
+        eval_gate("FOO", [1], 1)  # type: ignore[arg-type]

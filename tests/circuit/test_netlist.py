@@ -1,0 +1,173 @@
+"""Netlist IR structural tests."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Gate, Netlist, NetlistError, fresh_net_namer
+
+
+def _single_and() -> Netlist:
+    n = Netlist("t")
+    n.add_inputs(["a", "b"])
+    n.add_gate("y", GateType.AND, ["a", "b"])
+    n.set_outputs(["y"])
+    return n
+
+
+class TestConstruction:
+    def test_basic(self):
+        n = _single_and()
+        n.validate()
+        assert n.num_gates == 1
+        assert n.nets() == ["a", "b", "y"]
+
+    def test_duplicate_input_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_input("a")
+
+    def test_gate_shadowing_input_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_gate("a", GateType.NOT, ["a"])
+
+    def test_double_driver_rejected(self):
+        n = _single_and()
+        with pytest.raises(NetlistError):
+            n.add_gate("y", GateType.OR, ["a", "b"])
+
+    def test_input_shadowing_gate_rejected(self):
+        n = _single_and()
+        with pytest.raises(NetlistError):
+            n.add_input("y")
+
+    def test_bad_arity_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_gate("y", GateType.NOT, ["a", "a"])
+        with pytest.raises(NetlistError):
+            n.add_gate("z", GateType.MUX, ["a", "a"])
+
+    def test_undriven_fanin_caught_by_validate(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("y", GateType.AND, ["a", "ghost"])
+        n.set_outputs(["y"])
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_undriven_output_caught(self):
+        n = Netlist()
+        n.add_input("a")
+        n.set_outputs(["nowhere"])
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_output_can_be_input(self):
+        n = Netlist()
+        n.add_input("a")
+        n.set_outputs(["a"])
+        n.validate()
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        n = Netlist()
+        n.add_input("a")
+        # Insert in reverse order on purpose.
+        n.gates["y"] = Gate("y", GateType.NOT, ("m",))
+        n.gates["m"] = Gate("m", GateType.NOT, ("a",))
+        n.set_outputs(["y"])
+        order = [g.output for g in n.topological_order()]
+        assert order.index("m") < order.index("y")
+
+    def test_cycle_detected(self):
+        n = Netlist()
+        n.add_input("a")
+        n.gates["x"] = Gate("x", GateType.AND, ("a", "y"))
+        n.gates["y"] = Gate("y", GateType.AND, ("a", "x"))
+        with pytest.raises(NetlistError):
+            n.topological_order()
+
+    def test_self_loop_detected(self):
+        n = Netlist()
+        n.add_input("a")
+        n.gates["x"] = Gate("x", GateType.AND, ("a", "x"))
+        with pytest.raises(NetlistError):
+            n.topological_order()
+
+    def test_deep_chain_no_recursion_error(self):
+        n = Netlist()
+        n.add_input("a")
+        prev = "a"
+        for i in range(5000):
+            n.add_gate(f"g{i}", GateType.NOT, [prev])
+            prev = f"g{i}"
+        n.set_outputs([prev])
+        assert len(n.topological_order()) == 5000
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        n = _single_and()
+        c = n.copy()
+        c.add_gate("z", GateType.NOT, ["y"])
+        assert "z" not in n.gates
+
+    def test_renamed_keeps_shared_inputs(self):
+        n = _single_and()
+        r = n.renamed("p_", keep_inputs=["a", "b"])
+        assert r.inputs == ["a", "b"]
+        assert "p_y" in r.gates
+        assert r.gates["p_y"].inputs == ("a", "b")
+
+    def test_renamed_all(self):
+        n = _single_and()
+        r = n.renamed("p_")
+        assert r.inputs == ["p_a", "p_b"]
+        assert r.outputs == ["p_y"]
+
+    def test_merged_shares_inputs(self):
+        a = _single_and()
+        b = Netlist()
+        b.add_inputs(["a", "b"])
+        b.add_gate("z", GateType.OR, ["a", "b"])
+        b.set_outputs(["z"])
+        m = a.merged_with(b)
+        m.validate()
+        assert set(m.outputs) == {"y", "z"}
+        assert m.inputs == ["a", "b"]
+
+    def test_merged_conflicting_driver_rejected(self):
+        a = _single_and()
+        b = Netlist()
+        b.add_inputs(["a", "b"])
+        b.add_gate("y", GateType.OR, ["a", "b"])
+        b.set_outputs(["y"])
+        with pytest.raises(NetlistError):
+            a.merged_with(b)
+
+    def test_fanouts(self):
+        n = _single_and()
+        n.add_gate("z", GateType.NOT, ["y"])
+        fo = n.fanouts()
+        assert fo["a"] == ["y"]
+        assert fo["y"] == ["z"]
+        assert fo["z"] == []
+
+    def test_gate_type_histogram(self):
+        n = _single_and()
+        n.add_gate("z", GateType.NOT, ["y"])
+        assert n.gate_type_histogram() == {"AND": 1, "NOT": 1}
+
+
+class TestNamer:
+    def test_fresh_names_avoid_collisions(self):
+        n = _single_and()
+        n.add_gate("syn_0", GateType.NOT, ["a"])
+        namer = fresh_net_namer(n, "syn_")
+        assert namer() == "syn_1"
+        assert namer() == "syn_2"

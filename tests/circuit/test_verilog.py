@@ -1,0 +1,76 @@
+"""Verilog writer tests."""
+
+import re
+
+from repro.bench_circuits.generators import ripple_carry_adder
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.circuit.random_circuits import random_netlist
+from repro.circuit.verilog import format_verilog, write_verilog_file
+
+
+class TestFormat:
+    def test_module_structure(self):
+        n = ripple_carry_adder(2)
+        text = format_verilog(n)
+        assert text.startswith("module rca2 (")
+        assert text.rstrip().endswith("endmodule")
+        assert "input a0;" in text
+        assert "output sum0;" in text
+
+    def test_primitives_emitted(self):
+        n = Netlist("prims")
+        n.add_inputs(["a", "b"])
+        n.add_gate("x", GateType.NAND, ["a", "b"])
+        n.add_gate("y", GateType.XOR, ["a", "x"])
+        n.set_outputs(["y"])
+        text = format_verilog(n)
+        assert re.search(r"nand g\d+ \(x, a, b\);", text)
+        assert re.search(r"xor g\d+ \(y, a, x\);", text)
+
+    def test_mux_and_consts_as_assign(self):
+        n = Netlist("mx")
+        n.add_inputs(["s", "a", "b"])
+        n.add_gate("k", GateType.CONST1, [])
+        n.add_gate("y", GateType.MUX, ["s", "a", "b"])
+        n.add_gate("z", GateType.AND, ["y", "k"])
+        n.set_outputs(["z"])
+        text = format_verilog(n)
+        assert "assign y = s ? a : b;" in text
+        assert "assign k = 1'b1;" in text
+
+    def test_wire_declarations_exclude_ports(self):
+        n = ripple_carry_adder(2)
+        text = format_verilog(n)
+        assert "wire sum0;" not in text
+        assert "wire a0;" not in text
+
+    def test_custom_module_name(self):
+        n = random_netlist(3, 5, seed=1)
+        assert "module my_top (" in format_verilog(n, module_name="my_top")
+
+    def test_weird_net_names_escaped(self):
+        n = Netlist("weird")
+        n.add_input("a[0]")
+        n.add_gate("y.z", GateType.NOT, ["a[0]"])
+        n.set_outputs(["y.z"])
+        text = format_verilog(n)
+        assert "\\a[0] " in text
+        assert "\\y.z " in text
+
+    def test_every_gate_represented(self):
+        n = random_netlist(5, 30, seed=4)
+        text = format_verilog(n)
+        body = [l for l in text.splitlines() if "g" in l or "assign" in l]
+        structural = sum(
+            1
+            for line in text.splitlines()
+            if re.match(r"\s+(and|or|nand|nor|xor|xnor|not|buf|assign)\b", line)
+        )
+        assert structural == n.num_gates
+
+    def test_file_output(self, tmp_path):
+        n = random_netlist(3, 8, seed=2)
+        path = tmp_path / "out.v"
+        write_verilog_file(n, str(path))
+        assert path.read_text().startswith("module")

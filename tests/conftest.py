@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for everything: property tests here run whole
+# SAT solves / circuit sweeps per example, so keep example counts sane.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # Circuit fixtures are deterministic and never mutated by tests,
+        # so sharing them across generated examples is safe.
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_circuit():
+    """A deterministic 6-input random netlist used across suites."""
+    from repro.circuit.random_circuits import random_netlist
+
+    return random_netlist(6, 40, seed=42)
+
+
+@pytest.fixture
+def tiny_alu():
+    """A 3-bit ALU: structured, multi-output, fast to simulate."""
+    from repro.bench_circuits.generators import simple_alu
+
+    return simple_alu(3, name="tiny_alu")

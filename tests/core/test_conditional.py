@@ -1,0 +1,81 @@
+"""Conditional netlist generation tests."""
+
+import pytest
+
+from repro.circuit.random_circuits import random_netlist
+from repro.circuit.simulator import truth_table
+from repro.core.conditional import generate_conditional_netlist
+from repro.locking.sarlock import sarlock_lock
+from repro.locking.xor_lock import xor_lock
+
+
+@pytest.fixture
+def locked():
+    original = random_netlist(6, 45, seed=17)
+    return xor_lock(original, 4, seed=5)
+
+
+class TestGenerate:
+    def test_interface_preserved(self, locked):
+        cond = generate_conditional_netlist(locked, {"pi0": True})
+        assert cond.locked.netlist.inputs == locked.netlist.inputs
+        assert cond.locked.netlist.outputs == locked.netlist.outputs
+        assert cond.locked.key_inputs == locked.key_inputs
+
+    def test_gate_reduction_reported(self, locked):
+        cond = generate_conditional_netlist(
+            locked, {"pi0": True, "pi1": False}
+        )
+        assert cond.gates_after <= cond.gates_before
+        assert cond.gates_before == locked.netlist.num_gates
+        assert cond.synthesis is not None
+
+    def test_no_synthesis_mode(self, locked):
+        cond = generate_conditional_netlist(
+            locked, {"pi0": True}, run_synthesis=False
+        )
+        assert cond.synthesis is None
+        assert cond.locked.netlist is locked.netlist
+
+    def test_function_preserved_on_consistent_patterns(self, locked):
+        assignment = {"pi0": True, "pi1": False}
+        cond = generate_conditional_netlist(locked, assignment)
+        tt_full = truth_table(locked.netlist)
+        tt_cond = truth_table(cond.locked.netlist)
+        inputs = locked.netlist.inputs
+        pos = {net: j for j, net in enumerate(inputs)}
+        total = len(inputs)
+        for pattern in range(0, 1 << total, 7):  # sparse sweep
+            if any(
+                ((pattern >> pos[net]) & 1) != int(v)
+                for net, v in assignment.items()
+            ):
+                continue
+            for out in locked.netlist.outputs:
+                assert ((tt_full[out] >> pattern) & 1) == (
+                    (tt_cond[out] >> pattern) & 1
+                )
+
+    def test_pin_on_key_input_rejected(self, locked):
+        with pytest.raises(ValueError):
+            generate_conditional_netlist(locked, {locked.key_inputs[0]: True})
+
+    def test_correct_key_still_unlocks_subspace(self):
+        original = random_netlist(6, 40, seed=19)
+        locked = sarlock_lock(original, 4, seed=2)
+        assignment = {original.inputs[0]: False}
+        cond = generate_conditional_netlist(locked, assignment)
+        # The correct key must still satisfy the conditional netlist on
+        # all patterns consistent with the assignment.
+        keyed_cond = cond.locked.apply_key(locked.correct_key)
+        keyed_full = locked.apply_key(locked.correct_key)
+        tt_c = truth_table(keyed_cond)
+        tt_f = truth_table(keyed_full)
+        pos = {net: j for j, net in enumerate(keyed_full.inputs)}
+        for pattern in range(1 << len(keyed_full.inputs)):
+            if ((pattern >> pos[original.inputs[0]]) & 1) != 0:
+                continue
+            for out in original.outputs:
+                assert ((tt_c[out] >> pattern) & 1) == (
+                    (tt_f[out] >> pattern) & 1
+                )

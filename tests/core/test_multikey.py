@@ -1,0 +1,131 @@
+"""Algorithm 1 tests: the multi-key attack end to end."""
+
+import pytest
+
+from repro.attacks.brute_force import brute_force_keys
+from repro.circuit.random_circuits import random_netlist
+from repro.core.compose import verify_composition
+from repro.core.multikey import multikey_attack
+from repro.locking.lut_lock import LutModuleSpec, lut_lock
+from repro.locking.sarlock import sarlock_lock
+from repro.oracle.oracle import Oracle
+
+
+@pytest.fixture
+def setup():
+    original = random_netlist(7, 45, seed=29)
+    locked = sarlock_lock(original, 4, seed=3)
+    return original, locked
+
+
+class TestAlgorithm1:
+    def test_effort_zero_is_baseline(self, setup):
+        original, locked = setup
+        result = multikey_attack(locked, original, effort=0)
+        assert len(result.subtasks) == 1
+        assert result.splitting_inputs == []
+        assert result.subtasks[0].key_int == locked.correct_key_int
+
+    @pytest.mark.parametrize("effort", [1, 2, 3])
+    def test_task_count_is_2_to_n(self, setup, effort):
+        original, locked = setup
+        result = multikey_attack(locked, original, effort=effort)
+        assert len(result.subtasks) == 1 << effort
+        assert result.status == "ok"
+
+    def test_each_key_unlocks_its_subspace(self, setup):
+        original, locked = setup
+        result = multikey_attack(locked, original, effort=2)
+        for task in result.subtasks:
+            good = brute_force_keys(
+                locked, Oracle(original), pin=task.assignment
+            )
+            assert task.key_int in good
+
+    def test_dips_halve_with_effort(self, setup):
+        original, locked = setup
+        dips = []
+        for effort in range(3):
+            result = multikey_attack(locked, original, effort=effort)
+            dips.append(max(result.dips_per_task))
+        assert dips[0] > dips[1] > dips[2]
+
+    def test_composition_equivalent(self, setup):
+        original, locked = setup
+        result = multikey_attack(locked, original, effort=2)
+        assert verify_composition(
+            locked, result.splitting_inputs, result.keys, original
+        ).equivalent
+
+    def test_parallel_matches_sequential(self, setup):
+        original, locked = setup
+        seq = multikey_attack(locked, original, effort=2, parallel=False)
+        par = multikey_attack(locked, original, effort=2, parallel=True,
+                              processes=2)
+        assert seq.key_ints == par.key_ints
+        assert seq.dips_per_task == par.dips_per_task
+        assert par.parallel is True
+        assert seq.parallel is False
+
+    def test_lut_lock_multikey(self):
+        original = random_netlist(8, 60, seed=31)
+        locked = lut_lock(original, LutModuleSpec.tiny(), seed=2)
+        result = multikey_attack(locked, original, effort=2)
+        assert result.status == "ok"
+        assert verify_composition(
+            locked, result.splitting_inputs, result.keys, original
+        ).equivalent
+
+    def test_explicit_splitting_inputs(self, setup):
+        original, locked = setup
+        chosen = [original.inputs[2], original.inputs[5]]
+        result = multikey_attack(
+            locked, original, effort=2, splitting_inputs=chosen
+        )
+        assert result.splitting_inputs == chosen
+        for index, task in enumerate(result.subtasks):
+            assert task.assignment == {
+                chosen[0]: bool(index & 1),
+                chosen[1]: bool(index & 2),
+            }
+
+    def test_splitting_inputs_length_checked(self, setup):
+        original, locked = setup
+        with pytest.raises(ValueError):
+            multikey_attack(
+                locked, original, effort=2, splitting_inputs=["pi0"]
+            )
+
+    def test_no_synthesis_same_keys(self, setup):
+        original, locked = setup
+        with_synth = multikey_attack(locked, original, effort=1)
+        without = multikey_attack(
+            locked, original, effort=1, run_synthesis=False
+        )
+        # The search is deterministic given the same netlist structure?
+        # Not guaranteed — but both key sets must unlock their subspaces.
+        for task in without.subtasks:
+            good = brute_force_keys(
+                locked, Oracle(original), pin=task.assignment
+            )
+            assert task.key_int in good
+        assert with_synth.status == without.status == "ok"
+
+    def test_metrics_populated(self, setup):
+        original, locked = setup
+        result = multikey_attack(locked, original, effort=2)
+        assert result.max_subtask_seconds >= result.mean_subtask_seconds
+        assert result.mean_subtask_seconds >= result.min_subtask_seconds
+        assert result.total_dips == sum(result.dips_per_task)
+        assert result.wall_seconds > 0
+        for task in result.subtasks:
+            assert task.gates_after <= task.gates_before
+            assert task.oracle_queries == task.num_dips
+
+    def test_partial_status_on_budget(self, setup):
+        original, locked = setup
+        result = multikey_attack(
+            locked, original, effort=1, max_dips_per_task=1
+        )
+        assert result.status == "partial"
+        assert result.keys == [] or len(result.keys) < 2

@@ -1,0 +1,62 @@
+"""Multi-core schedule model tests."""
+
+import pytest
+
+from repro.core.scheduling import attack_time_on_cores, lpt_schedule, speedup_curve
+
+
+class TestLpt:
+    def test_single_core_sums(self):
+        s = lpt_schedule([3.0, 1.0, 2.0], 1)
+        assert s.makespan_seconds == pytest.approx(6.0)
+        assert s.utilization == pytest.approx(1.0)
+
+    def test_enough_cores_gives_max(self):
+        s = lpt_schedule([3.0, 1.0, 2.0], 3)
+        assert s.makespan_seconds == pytest.approx(3.0)
+
+    def test_classic_lpt_case(self):
+        # 2 cores, jobs 3,3,2,2,2: the textbook LPT example — greedy
+        # yields 7 while the optimum is 6 (within the 4/3 bound).
+        s = lpt_schedule([3, 3, 2, 2, 2], 2)
+        assert s.makespan_seconds == pytest.approx(7.0)
+        assert s.makespan_seconds <= 6.0 * 4 / 3
+
+    def test_every_task_assigned_once(self):
+        s = lpt_schedule([5, 4, 3, 2, 1], 2)
+        flat = sorted(i for core in s.assignment for i in core)
+        assert flat == [0, 1, 2, 3, 4]
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            lpt_schedule([1.0], 0)
+
+    def test_empty_tasks(self):
+        s = lpt_schedule([], 4)
+        assert s.makespan_seconds == 0.0
+
+
+class TestAttackTimeModel:
+    @pytest.fixture
+    def result(self):
+        from repro.circuit.random_circuits import random_netlist
+        from repro.core.multikey import multikey_attack
+        from repro.locking.sarlock import sarlock_lock
+
+        original = random_netlist(7, 40, seed=95)
+        locked = sarlock_lock(original, 4, seed=1)
+        return multikey_attack(locked, original, effort=3)
+
+    def test_16_cores_equals_max_task(self, result):
+        modelled = attack_time_on_cores(result, 16)
+        assert modelled == pytest.approx(result.max_subtask_seconds)
+
+    def test_one_core_equals_total(self, result):
+        total = sum(t.total_seconds for t in result.subtasks)
+        assert attack_time_on_cores(result, 1) == pytest.approx(total)
+
+    def test_speedup_curve_monotone(self, result):
+        curve = speedup_curve(result, [1, 2, 4, 8])
+        times = [t for _, t, _ in curve]
+        assert times == sorted(times, reverse=True)
+        assert curve[0][2] == pytest.approx(1.0)

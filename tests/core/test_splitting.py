@@ -1,0 +1,66 @@
+"""Splitting-input selection tests."""
+
+import pytest
+
+from repro.circuit.random_circuits import random_netlist
+from repro.core.splitting import select_splitting_inputs, splitting_assignments
+from repro.locking.sarlock import sarlock_lock
+from repro.locking.xor_lock import xor_lock
+
+
+@pytest.fixture
+def locked():
+    original = random_netlist(8, 50, seed=3)
+    return sarlock_lock(original, 4, seed=1)
+
+
+class TestSelect:
+    def test_fanout_prefers_protected_inputs(self, locked):
+        # For SARLock, only the protected inputs feed the comparator
+        # cone, so they must outrank the rest.
+        chosen = select_splitting_inputs(locked, 2, strategy="fanout")
+        protected = set(locked.meta["protected_inputs"])
+        assert set(chosen) <= protected
+
+    def test_effort_zero(self, locked):
+        assert select_splitting_inputs(locked, 0) == []
+
+    def test_effort_bounds(self, locked):
+        with pytest.raises(ValueError):
+            select_splitting_inputs(locked, -1)
+        with pytest.raises(ValueError):
+            select_splitting_inputs(locked, 100)
+
+    def test_random_strategy_deterministic_by_seed(self, locked):
+        a = select_splitting_inputs(locked, 3, strategy="random", seed=7)
+        b = select_splitting_inputs(locked, 3, strategy="random", seed=7)
+        assert a == b
+        assert set(a) <= set(locked.original_inputs)
+
+    def test_first_strategy(self, locked):
+        assert (
+            select_splitting_inputs(locked, 2, strategy="first")
+            == locked.original_inputs[:2]
+        )
+
+    def test_unknown_strategy_rejected(self, locked):
+        with pytest.raises(ValueError):
+            select_splitting_inputs(locked, 2, strategy="psychic")
+
+    def test_never_selects_key_inputs(self):
+        original = random_netlist(6, 40, seed=9)
+        lk = xor_lock(original, 5, seed=2)
+        chosen = select_splitting_inputs(lk, 4)
+        assert not (set(chosen) & set(lk.key_inputs))
+
+
+class TestAssignments:
+    def test_count_and_indexing(self):
+        assignments = splitting_assignments(["x", "y", "z"])
+        assert len(assignments) == 8
+        # Algorithm 1 indexing: bit j of the index = value of input j.
+        assert assignments[0] == {"x": False, "y": False, "z": False}
+        assert assignments[5] == {"x": True, "y": False, "z": True}
+
+    def test_empty(self):
+        assert splitting_assignments([]) == [{}]

@@ -1,0 +1,64 @@
+"""Ablation runner tests (A1 splitting strategy, A2 synthesis)."""
+
+from repro.experiments.ablation_splitting import run_splitting_ablation
+from repro.experiments.ablation_synthesis import run_synthesis_ablation
+from repro.locking.lut_lock import LutModuleSpec
+
+
+class TestSplittingAblation:
+    def test_strategies_compared(self):
+        result = run_splitting_ablation(
+            circuit="c6288",
+            scale=0.2,
+            effort=2,
+            spec=LutModuleSpec.tiny(),
+            strategies=("fanout", "random"),
+            time_limit_per_task=60.0,
+        )
+        assert [row.strategy for row in result.rows] == ["fanout", "random"]
+        assert all(row.status == "ok" for row in result.rows)
+        text = result.format()
+        assert "fanout" in text and "random" in text
+
+    def test_fanout_not_worse_on_conditional_size(self):
+        """The paper's heuristic should produce conditional netlists at
+        least as small as naive 'first' selection on a LUT-locked
+        circuit (its padding inputs are the high-influence ones)."""
+        result = run_splitting_ablation(
+            circuit="c6288",
+            scale=0.25,
+            effort=3,
+            spec=LutModuleSpec.small(),
+            strategies=("fanout", "first"),
+            time_limit_per_task=60.0,
+        )
+        by_name = {row.strategy: row for row in result.rows}
+        assert (
+            by_name["fanout"].mean_gates_after
+            <= by_name["first"].mean_gates_after * 1.05
+        )
+
+
+class TestSynthesisAblation:
+    def test_synthesis_shrinks_instances(self):
+        result = run_synthesis_ablation(
+            circuit="c880",
+            scale=0.25,
+            effort=2,
+            spec=LutModuleSpec.tiny(),
+            time_limit_per_task=60.0,
+        )
+        on, off = result.rows
+        assert on.synthesis and not off.synthesis
+        assert on.mean_gates < off.mean_gates
+        assert on.status == off.status == "ok"
+
+    def test_format(self):
+        result = run_synthesis_ablation(
+            circuit="c880",
+            scale=0.2,
+            effort=1,
+            spec=LutModuleSpec.tiny(),
+            time_limit_per_task=60.0,
+        )
+        assert "A2" in result.format()

@@ -1,0 +1,51 @@
+"""Figure 1 reproduction tests — these check the paper's exact claims."""
+
+from repro.experiments.figure1 import paper_example_circuit, run_figure1
+
+
+class TestFigure1:
+    def test_error_matrix_law(self):
+        result = run_figure1(correct_key=0b101)
+        for i in range(8):
+            for k in range(8):
+                assert result.matrix[i][k] == ((i == k) and (k != 0b101))
+
+    def test_paper_key_sets(self):
+        """Paper: three incorrect keys (100, 110, 111) unlock the MSB=0
+        half alongside k* = 101."""
+        result = run_figure1(correct_key=0b101)
+        assert set(result.keys_msb0) == {0b100, 0b101, 0b110, 0b111}
+        assert 0b101 in result.keys_msb1
+        assert len(result.keys_msb1) == 5
+
+    def test_composition_equivalent(self):
+        result = run_figure1()
+        assert result.composition_equivalent
+        assert all(k in result.keys_msb0 + result.keys_msb1
+                   for k in result.chosen_keys)
+
+    def test_incorrect_pair_composes_to_equivalent(self):
+        result = run_figure1()
+        assert result.incorrect_pair is not None
+        a, b = result.incorrect_pair
+        assert a != result.correct_key
+        assert b != result.correct_key
+        assert result.incorrect_pair_equivalent is True
+
+    def test_other_correct_keys(self):
+        """The law holds for any chosen k*."""
+        result = run_figure1(correct_key=0b010)
+        for i in range(8):
+            for k in range(8):
+                assert result.matrix[i][k] == ((i == k) and (k != 0b010))
+
+    def test_format_renders(self):
+        text = run_figure1().format()
+        assert "Figure 1(a)" in text
+        assert "Figure 1(b)" in text
+        assert "101" in text
+
+    def test_example_circuit_shape(self):
+        n = paper_example_circuit()
+        assert len(n.inputs) == 3
+        assert len(n.outputs) == 1

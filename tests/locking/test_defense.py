@@ -1,0 +1,91 @@
+"""Tests for the multi-key countermeasure (entangled SARLock)."""
+
+import pytest
+
+from repro.bdd.analysis import count_keys_unlocking_subspace
+from repro.circuit.random_circuits import random_netlist
+from repro.core.multikey import multikey_attack
+from repro.core.compose import verify_composition
+from repro.locking.base import LockingError
+from repro.locking.defense import (
+    entangled_sarlock,
+    splitting_resistance,
+)
+from repro.locking.sarlock import sarlock_lock
+
+
+class TestEntangledSarlock:
+    def test_correct_key_unlocks(self, small_circuit):
+        lk = entangled_sarlock(small_circuit, 4, seed=1)
+        assert lk.verify_key(small_circuit, lk.correct_key).equivalent
+
+    def test_wrong_key_corrupts(self, small_circuit):
+        lk = entangled_sarlock(small_circuit, 4, seed=1)
+        wrong = lk.correct_key_int ^ 0b11
+        assert not lk.verify_key(small_circuit, wrong).equivalent
+
+    def test_point_function_error_profile(self):
+        from repro.bdd.analysis import exact_error_rate
+
+        original = random_netlist(8, 40, seed=91)
+        lk = entangled_sarlock(original, 5, seed=2)
+        wrong = lk.correct_key_int ^ 1
+        rate = exact_error_rate(lk, original, wrong)
+        # Each wrong key errs on the inputs whose parities hit one
+        # pattern: a 2^-|K| slice of the space.
+        assert rate == pytest.approx(1 / 32)
+
+    def test_explicit_key(self, small_circuit):
+        lk = entangled_sarlock(small_circuit, 3, correct_key=0b101, seed=0)
+        assert lk.correct_key_int == 0b101
+
+    def test_too_few_inputs_rejected(self):
+        from repro.circuit.netlist import Netlist
+
+        tiny = Netlist()
+        tiny.add_input("a")
+        tiny.set_outputs(["a"])
+        with pytest.raises(LockingError):
+            entangled_sarlock(tiny, 2)
+
+
+class TestDefenseEffectiveness:
+    """The quantified claim: entanglement kills both attack levers."""
+
+    def test_subspace_key_count_stays_one(self):
+        original = random_netlist(8, 40, seed=92)
+        defended = entangled_sarlock(original, 4, seed=3, resist_effort=2)
+        baseline = sarlock_lock(original, 4, seed=3)
+
+        pin = {net: False for net in original.inputs[:2]}
+        defended_keys = count_keys_unlocking_subspace(defended, original, pin)
+        baseline_keys = count_keys_unlocking_subspace(baseline, original, pin)
+        # Plain SARLock: pinning 2 protected bits lets 2^4 - 2^2 extra
+        # keys through.  The entangled variant admits only k*.
+        assert baseline_keys > 1
+        assert defended_keys == 1
+
+    def test_splitting_resistance_report(self):
+        original = random_netlist(8, 40, seed=93)
+        defended = entangled_sarlock(original, 4, seed=3, resist_effort=2)
+        baseline = sarlock_lock(original, 4, seed=3)
+        r_defended = splitting_resistance(defended, original, effort=2)
+        r_baseline = splitting_resistance(baseline, original, effort=2)
+        assert r_defended.key_inflation == 0
+        assert r_baseline.key_inflation > 0
+        assert 0.0 <= r_defended.gate_reduction <= 1.0
+
+    def test_multikey_attack_still_sound_but_not_cheaper(self):
+        """The attack still *works* on the defended circuit (keys per
+        sub-space compose fine) — it just stops being cheaper: every
+        sub-task needs the full 2^|K| - 1 DIPs."""
+        original = random_netlist(8, 40, seed=94)
+        defended = entangled_sarlock(original, 4, seed=5, resist_effort=2)
+        baseline_run = multikey_attack(defended, original, effort=0)
+        split_run = multikey_attack(defended, original, effort=2)
+        assert split_run.status == "ok"
+        assert verify_composition(
+            defended, split_run.splitting_inputs, split_run.keys, original
+        ).equivalent
+        # No DIP reduction: the comparator never simplifies.
+        assert max(split_run.dips_per_task) >= baseline_run.total_dips

@@ -1,0 +1,115 @@
+"""Corruption metric tests (the Fig. 1a machinery)."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.circuit.random_circuits import random_netlist
+from repro.locking.metrics import (
+    error_matrix,
+    error_rate,
+    format_error_matrix,
+    keys_unlocking_subspace,
+)
+from repro.locking.sarlock import sarlock_lock
+from repro.locking.xor_lock import xor_lock
+
+
+def _fig1_circuit() -> Netlist:
+    n = Netlist("fig1")
+    n.add_inputs(["i0", "i1", "i2"])
+    n.add_gate("t", GateType.XOR, ["i0", "i1"])
+    n.add_gate("y", GateType.XOR, ["t", "i2"])
+    n.set_outputs(["y"])
+    return n
+
+
+class TestErrorMatrix:
+    def test_fig1a_exact(self):
+        original = _fig1_circuit()
+        locked = sarlock_lock(
+            original, 3, correct_key=0b101, protected_inputs=["i0", "i1", "i2"]
+        )
+        matrix = error_matrix(locked, original)
+        for i in range(8):
+            for k in range(8):
+                assert matrix[i][k] == ((i == k) and (k != 0b101))
+
+    def test_correct_key_column_is_clean(self, small_circuit):
+        locked = xor_lock(small_circuit, 3, seed=2)
+        matrix = error_matrix(locked, small_circuit)
+        k_star = locked.correct_key_int
+        assert all(not row[k_star] for row in matrix)
+
+    def test_too_wide_rejected(self):
+        original = random_netlist(12, 30, seed=0)
+        locked = xor_lock(original, 12, seed=0)
+        with pytest.raises(ValueError):
+            error_matrix(locked, original)
+
+    def test_format_matrix(self):
+        original = _fig1_circuit()
+        locked = sarlock_lock(original, 3, correct_key=0b101)
+        text = format_error_matrix(error_matrix(locked, original), key_width=3)
+        assert "x" in text and "." in text
+        assert len(text.splitlines()) == 9  # header + 8 input rows
+
+
+class TestSubspaceKeys:
+    def test_fig1a_msb_halves(self):
+        original = _fig1_circuit()
+        locked = sarlock_lock(
+            original, 3, correct_key=0b101, protected_inputs=["i0", "i1", "i2"]
+        )
+        # Keys displayed MSB-first in the paper: 100,101,110,111 unlock
+        # the MSB=0 half -> ints with bit2 set, i.e. {4,5,6,7}.
+        msb0 = keys_unlocking_subspace(locked, original, {"i2": False})
+        assert set(msb0) == {4, 5, 6, 7}
+        msb1 = keys_unlocking_subspace(locked, original, {"i2": True})
+        assert set(msb1) == {0, 1, 2, 3, 5}
+
+    def test_empty_pin_yields_only_correct_keys(self):
+        original = _fig1_circuit()
+        locked = sarlock_lock(original, 3, correct_key=0b011)
+        assert keys_unlocking_subspace(locked, original, {}) == [0b011]
+
+    def test_unknown_pin_rejected(self):
+        original = _fig1_circuit()
+        locked = sarlock_lock(original, 3)
+        with pytest.raises(ValueError):
+            keys_unlocking_subspace(locked, original, {"zz": True})
+
+    def test_subspace_set_grows_with_restriction(self, small_circuit):
+        locked = sarlock_lock(small_circuit, 4, seed=1)
+        full = keys_unlocking_subspace(locked, small_circuit, {})
+        half = keys_unlocking_subspace(
+            locked, small_circuit, {small_circuit.inputs[0]: False}
+        )
+        assert set(full) <= set(half)
+        assert len(half) >= len(full)
+
+
+class TestErrorRate:
+    def test_correct_key_rate_zero_exhaustive(self, small_circuit):
+        locked = xor_lock(small_circuit, 4, seed=9)
+        assert error_rate(locked, small_circuit, locked.correct_key_int) == 0.0
+
+    def test_correct_key_rate_zero_sampled(self, small_circuit):
+        locked = xor_lock(small_circuit, 4, seed=9)
+        rate = error_rate(
+            locked, small_circuit, locked.correct_key_int, num_samples=512
+        )
+        assert rate == 0.0
+
+    def test_sarlock_wrong_key_rate_is_pointlike(self, small_circuit):
+        locked = sarlock_lock(small_circuit, 4, seed=3)
+        wrong = locked.correct_key_int ^ 0b1
+        rate = error_rate(locked, small_circuit, wrong)
+        # exactly one of 2^4 protected patterns errs; inputs beyond the
+        # protected ones don't affect the comparator.
+        assert rate == pytest.approx(1 / 16)
+
+    def test_xor_wrong_key_rate_large(self, small_circuit):
+        locked = xor_lock(small_circuit, 4, seed=9)
+        wrong = locked.correct_key_int ^ 0b1111
+        assert error_rate(locked, small_circuit, wrong) > 0.25

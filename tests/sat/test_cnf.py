@@ -1,0 +1,118 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import parse_dimacs, write_dimacs
+
+
+class TestCNF:
+    def test_new_var_sequence(self):
+        cnf = CNF()
+        assert [cnf.new_var() for _ in range(3)] == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_new_vars_bulk(self):
+        cnf = CNF(2)
+        assert cnf.new_vars(3) == [3, 4, 5]
+
+    def test_new_vars_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CNF().new_vars(-1)
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(-5)
+
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([4, -7])
+        assert cnf.num_vars == 7
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CNF().add_clause([1, 0])
+
+    def test_extend_merges(self):
+        a = CNF(2)
+        a.add_clause([1, 2])
+        b = CNF(3)
+        b.add_clause([-3])
+        a.extend(b)
+        assert a.num_vars == 3
+        assert len(a) == 2
+
+    def test_copy_is_deep_for_clauses(self):
+        a = CNF(2)
+        a.add_clause([1, 2])
+        b = a.copy()
+        b.clauses[0].append(-1)
+        assert a.clauses[0] == [1, 2]
+
+    def test_solve_returns_model(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        model = cnf.solve()
+        assert model is not None
+        assert set(model) == {1, 2}
+
+    def test_solve_none_when_unsat(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert cnf.solve() is None
+
+    def test_is_satisfied_by(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        assert cnf.is_satisfied_by({1: True, 2: True})
+        assert cnf.is_satisfied_by({1: False, 2: False})
+        assert not cnf.is_satisfied_by({1: False, 2: True})
+
+    def test_repr(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2])
+        assert "vars=3" in repr(cnf)
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = CNF(4)
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-4])
+        text = write_dimacs(cnf, comments=["hello"])
+        back = parse_dimacs(text)
+        assert back.num_vars == 4
+        assert back.clauses == [[1, -2, 3], [-4]]
+
+    def test_parse_comments_and_blank_lines(self):
+        text = "c comment\n\np cnf 3 2\n1 2 0\nc mid\n-3 0\n"
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [[1, 2], [-3]]
+
+    def test_parse_multiline_clause(self):
+        cnf = parse_dimacs("p cnf 3 1\n1\n2 -3\n0\n")
+        assert cnf.clauses == [[1, 2, -3]]
+
+    def test_unterminated_clause_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_declared_vars_respected(self):
+        cnf = parse_dimacs("p cnf 10 1\n1 0\n")
+        assert cnf.num_vars == 10
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.sat.dimacs import read_dimacs_file, write_dimacs_file
+
+        cnf = CNF(2)
+        cnf.add_clause([1, -2])
+        path = tmp_path / "f.cnf"
+        write_dimacs_file(cnf, str(path))
+        back = read_dimacs_file(str(path))
+        assert back.clauses == [[1, -2]]

@@ -1,0 +1,152 @@
+"""Exhaustive checks of the Tseitin gate encoders.
+
+Each encoder's CNF is enumerated over all input assignments: exactly
+the assignments where ``out == f(ins)`` may satisfy the clause set.
+"""
+
+import itertools
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.encode import (
+    enc_and,
+    enc_buf,
+    enc_const,
+    enc_mux,
+    enc_nand,
+    enc_nor,
+    enc_not,
+    enc_or,
+    enc_xnor,
+    enc_xor,
+)
+
+
+def _satisfied(clauses, assignment):
+    return all(
+        any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+    )
+
+
+def _check_gate(clauses, out_var, in_vars, func, aux_vars=()):
+    """For every (ins, out) combo: clauses satisfiable iff out == f(ins)."""
+    all_vars = [out_var] + list(in_vars) + list(aux_vars)
+    for in_bits in itertools.product([False, True], repeat=len(in_vars)):
+        for out_bit in (False, True):
+            expected = out_bit == func(in_bits)
+            feasible = False
+            for aux_bits in itertools.product(
+                [False, True], repeat=len(aux_vars)
+            ):
+                assignment = dict(zip(in_vars, in_bits))
+                assignment[out_var] = out_bit
+                assignment.update(dict(zip(aux_vars, aux_bits)))
+                if _satisfied(clauses, assignment):
+                    feasible = True
+                    break
+            assert feasible == expected, (in_bits, out_bit)
+
+
+@pytest.mark.parametrize("arity", [1, 2, 3, 4])
+def test_and(arity):
+    ins = list(range(2, 2 + arity))
+    _check_gate(enc_and(1, ins), 1, ins, lambda bits: all(bits))
+
+
+@pytest.mark.parametrize("arity", [1, 2, 3, 4])
+def test_or(arity):
+    ins = list(range(2, 2 + arity))
+    _check_gate(enc_or(1, ins), 1, ins, lambda bits: any(bits))
+
+
+@pytest.mark.parametrize("arity", [1, 2, 3])
+def test_nand(arity):
+    ins = list(range(2, 2 + arity))
+    _check_gate(enc_nand(1, ins), 1, ins, lambda bits: not all(bits))
+
+
+@pytest.mark.parametrize("arity", [1, 2, 3])
+def test_nor(arity):
+    ins = list(range(2, 2 + arity))
+    _check_gate(enc_nor(1, ins), 1, ins, lambda bits: not any(bits))
+
+
+def test_not():
+    _check_gate(enc_not(1, 2), 1, [2], lambda bits: not bits[0])
+
+
+def test_buf():
+    _check_gate(enc_buf(1, 2), 1, [2], lambda bits: bits[0])
+
+
+def test_xor2():
+    _check_gate(enc_xor(1, [2, 3]), 1, [2, 3], lambda b: b[0] ^ b[1])
+
+
+def test_xnor2():
+    _check_gate(enc_xnor(1, [2, 3]), 1, [2, 3], lambda b: not (b[0] ^ b[1]))
+
+
+def test_xor_nary_with_aux():
+    cnf = CNF(5)
+    clauses = enc_xor(1, [2, 3, 4, 5], cnf.new_var)
+    aux = list(range(6, cnf.num_vars + 1))
+    _check_gate(
+        clauses, 1, [2, 3, 4, 5],
+        lambda bits: bits[0] ^ bits[1] ^ bits[2] ^ bits[3],
+        aux_vars=aux,
+    )
+
+
+def test_xnor_nary_with_aux():
+    cnf = CNF(4)
+    clauses = enc_xnor(1, [2, 3, 4], cnf.new_var)
+    aux = list(range(5, cnf.num_vars + 1))
+    _check_gate(
+        clauses, 1, [2, 3, 4],
+        lambda bits: not (bits[0] ^ bits[1] ^ bits[2]),
+        aux_vars=aux,
+    )
+
+
+def test_xor_nary_without_allocator_rejected():
+    with pytest.raises(ValueError):
+        enc_xor(1, [2, 3, 4])
+
+
+def test_xor_single_input_is_buffer():
+    _check_gate(enc_xor(1, [2]), 1, [2], lambda bits: bits[0])
+
+
+def test_mux():
+    _check_gate(
+        enc_mux(1, 2, 3, 4), 1, [2, 3, 4],
+        lambda bits: bits[1] if bits[0] else bits[2],
+    )
+
+
+def test_const():
+    _check_gate(enc_const(1, True), 1, [], lambda bits: True)
+    _check_gate(enc_const(1, False), 1, [], lambda bits: False)
+
+
+def test_eq():
+    from repro.sat.encode import enc_eq
+
+    _check_gate(enc_eq(1, 2), 1, [2], lambda bits: bits[0])
+
+
+def test_negated_operands_work():
+    # out = AND(!a, b) via negated literal.
+    _check_gate(
+        enc_and(1, [-2, 3]), 1, [2, 3], lambda bits: (not bits[0]) and bits[1]
+    )
+
+
+def test_empty_and_is_true():
+    _check_gate(enc_and(1, []), 1, [], lambda bits: True)
+
+
+def test_empty_or_is_false():
+    _check_gate(enc_or(1, []), 1, [], lambda bits: False)

@@ -1,0 +1,276 @@
+"""Unit tests for the CDCL solver."""
+
+import pytest
+
+from repro.sat.solver import BudgetExhausted, Solver, luby
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(15)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers_appear(self):
+        values = {luby(i) for i in range(1023)}
+        assert {1, 2, 4, 8, 16, 32, 64, 128, 256} <= values
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            luby(-1)
+
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve()
+
+    def test_single_unit(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve()
+        assert s.model_value(1) is True
+
+    def test_negative_unit(self):
+        s = Solver()
+        s.add_clause([-1])
+        assert s.solve()
+        assert s.model_value(1) is False
+
+    def test_contradictory_units(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert not s.solve()
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        assert not s.add_clause([])
+        assert not s.solve()
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Solver().add_clause([0])
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        assert s.solve()
+
+    def test_duplicate_literals_collapse(self):
+        s = Solver()
+        s.add_clause([2, 2, 2])
+        assert s.solve()
+        assert s.model_value(2) is True
+
+    def test_implication_chain(self):
+        s = Solver()
+        n = 50
+        s.add_clause([1])
+        for v in range(1, n):
+            s.add_clause([-v, v + 1])
+        assert s.solve()
+        for v in range(1, n + 1):
+            assert s.model_value(v) is True
+
+    def test_simple_unsat(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([1, -2])
+        s.add_clause([-1, 2])
+        s.add_clause([-1, -2])
+        assert not s.solve()
+
+    def test_pigeonhole_3_into_2(self):
+        # PHP(3,2): famous small UNSAT instance requiring real search.
+        s = Solver()
+        # var(p, h) for pigeon p in hole h
+        def v(p, h):
+            return p * 2 + h + 1
+
+        for p in range(3):
+            s.add_clause([v(p, 0), v(p, 1)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    s.add_clause([-v(p1, h), -v(p2, h)])
+        assert not s.solve()
+
+    def test_xor_chain_sat(self):
+        # x1 ^ x2 ^ x3 = 1 encoded as CNF is satisfiable.
+        s = Solver()
+        s.add_clause([1, 2, 3])
+        s.add_clause([1, -2, -3])
+        s.add_clause([-1, 2, -3])
+        s.add_clause([-1, -2, 3])
+        assert s.solve()
+        parity = sum(int(s.model_value(v)) for v in (1, 2, 3)) % 2
+        assert parity == 1
+
+
+class TestModel:
+    def test_model_satisfies_all_clauses(self):
+        from repro.sat.random_cnf import random_ksat
+
+        cnf = random_ksat(40, 130, seed=5)
+        solver = cnf.to_solver()
+        assert solver.solve()
+        assignment = {abs(l): l > 0 for l in solver.model()}
+        assert cnf.is_satisfied_by(assignment)
+
+    def test_model_value_out_of_range(self):
+        s = Solver()
+        s.add_clause([1])
+        s.solve()
+        assert s.model_value(0) is None
+        assert s.model_value(99) is None
+
+    def test_model_survives_until_next_call(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve()
+        first = (s.model_value(1), s.model_value(2))
+        assert True in first
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve(assumptions=[-1])
+        assert s.model_value(1) is False
+        assert s.model_value(2) is True
+
+    def test_conflicting_assumption_unsat_without_poisoning(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.solve(assumptions=[-1])
+        assert s.solve()  # still SAT without the assumption
+        assert s.solve(assumptions=[1])
+
+    def test_mutually_conflicting_assumptions(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert not s.solve(assumptions=[1, -1])
+
+    def test_assumptions_drive_unsat_core_region(self):
+        s = Solver()
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert not s.solve(assumptions=[1, -3])
+        assert s.solve(assumptions=[1, 3])
+
+    def test_many_assumptions(self):
+        s = Solver()
+        for v in range(1, 21):
+            s.add_clause([v, v + 100])
+        assumptions = [-v for v in range(1, 21)]
+        assert s.solve(assumptions=assumptions)
+        for v in range(1, 21):
+            assert s.model_value(v) is False
+            assert s.model_value(v + 100) is True
+
+
+class TestIncremental:
+    def test_add_after_solve(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve()
+        s.add_clause([-1])
+        assert s.solve()
+        assert s.model_value(2) is True
+
+    def test_progressive_tightening_to_unsat(self):
+        s = Solver()
+        s.add_clause([1, 2, 3])
+        assert s.solve()
+        s.add_clause([-1])
+        assert s.solve()
+        s.add_clause([-2])
+        assert s.solve()
+        s.add_clause([-3])
+        assert not s.solve()
+
+    def test_unsat_is_sticky(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert not s.solve()
+        s.add_clause([2])
+        assert not s.solve()
+
+    def test_new_vars_between_solves(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve()
+        s.add_clause([500, -1])
+        assert s.solve()
+        assert s.model_value(500) is True
+
+    def test_solver_reuse_many_rounds(self):
+        from repro.sat.random_cnf import random_ksat
+
+        s = Solver()
+        offset = 0
+        for round_no in range(5):
+            cnf = random_ksat(15, 40, seed=round_no)
+            for clause in cnf.clauses:
+                s.add_clause(
+                    [lit + offset if lit > 0 else lit - offset for lit in clause]
+                )
+            assert s.solve()
+            offset += 15
+
+
+class TestBudget:
+    def test_budget_exhausted_raises(self):
+        # PHP(6,5) is hard enough to exceed a 5-conflict budget.
+        s = Solver()
+
+        def v(p, h):
+            return p * 5 + h + 1
+
+        for p in range(6):
+            s.add_clause([v(p, h) for h in range(5)])
+        for h in range(5):
+            for p1 in range(6):
+                for p2 in range(p1 + 1, 6):
+                    s.add_clause([-v(p1, h), -v(p2, h)])
+        with pytest.raises(BudgetExhausted):
+            s.solve(conflict_budget=5)
+
+    def test_budget_leaves_solver_usable(self):
+        s = Solver()
+
+        def v(p, h):
+            return p * 5 + h + 1
+
+        for p in range(6):
+            s.add_clause([v(p, h) for h in range(5)])
+        for h in range(5):
+            for p1 in range(6):
+                for p2 in range(p1 + 1, 6):
+                    s.add_clause([-v(p1, h), -v(p2, h)])
+        try:
+            s.solve(conflict_budget=5)
+        except BudgetExhausted:
+            pass
+        assert not s.solve()  # full solve still reaches the right answer
+
+
+class TestStats:
+    def test_counters_move(self):
+        from repro.sat.random_cnf import random_ksat
+
+        solver = random_ksat(60, 250, seed=3).to_solver()
+        solver.solve()
+        stats = solver.stats
+        assert stats.solve_calls == 1
+        assert stats.propagations > 0
+        assert stats.decisions > 0
+
+    def test_as_dict_keys(self):
+        s = Solver()
+        s.add_clause([1])
+        s.solve()
+        d = s.stats.as_dict()
+        assert {"conflicts", "decisions", "propagations", "restarts"} <= set(d)

@@ -1,0 +1,77 @@
+"""Property-based tests: the solver against brute-force ground truth."""
+
+from hypothesis import given, strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.random_cnf import brute_force_satisfiable, random_ksat
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    ratio=st.sampled_from([2.0, 3.5, 4.26, 5.0, 6.5]),
+)
+def test_agrees_with_brute_force_3sat(seed, ratio):
+    cnf = random_ksat(10, int(10 * ratio), k=3, seed=seed)
+    solver = cnf.to_solver()
+    expected = brute_force_satisfiable(cnf)
+    got = solver.solve()
+    assert got == expected
+    if got:
+        assignment = {abs(l): l > 0 for l in solver.model()}
+        assert cnf.is_satisfied_by(assignment)
+
+
+@given(seed=st.integers(0, 10_000))
+def test_agrees_with_brute_force_2sat(seed):
+    cnf = random_ksat(12, 30, k=2, seed=seed)
+    assert cnf.to_solver().solve() == brute_force_satisfiable(cnf)
+
+
+@given(
+    clauses=st.lists(
+        st.lists(
+            st.integers(-6, 6).filter(lambda x: x != 0),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_arbitrary_clause_lists(clauses):
+    """Messy clauses — duplicates, tautologies, units — never break it."""
+    cnf = CNF(6)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    solver = cnf.to_solver()
+    expected = brute_force_satisfiable(cnf)
+    got = solver.solve()
+    assert got == expected
+    if got:
+        assignment = {abs(l): l > 0 for l in solver.model()}
+        assert cnf.is_satisfied_by(assignment)
+
+
+@given(seed=st.integers(0, 10_000), flip=st.integers(1, 10))
+def test_assumptions_equal_unit_clauses(seed, flip):
+    """solve(assumptions=[l]) must agree with add_clause([l]) + solve()."""
+    cnf = random_ksat(10, 35, k=3, seed=seed)
+    with_assumption = cnf.to_solver().solve(assumptions=[flip])
+    cnf2 = cnf.copy()
+    cnf2.add_clause([flip])
+    with_unit = cnf2.to_solver().solve()
+    assert with_assumption == with_unit
+
+
+@given(seed=st.integers(0, 10_000))
+def test_incremental_equals_monolithic(seed):
+    """Adding clauses in two batches matches adding them all at once."""
+    cnf = random_ksat(10, 40, k=3, seed=seed)
+    half = len(cnf.clauses) // 2
+    solver = CNF(10).to_solver()
+    for clause in cnf.clauses[:half]:
+        solver.add_clause(clause)
+    solver.solve()  # intermediate solve must not disturb correctness
+    for clause in cnf.clauses[half:]:
+        solver.add_clause(clause)
+    assert solver.solve() == brute_force_satisfiable(cnf)

@@ -1,0 +1,51 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("figure1", "table1", "table2", "attack", "bench", "ablation"):
+            assert cmd in text
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out
+        assert "equivalent = True" in out
+
+    def test_table1_small(self, capsys):
+        assert main([
+            "table1", "--key-sizes", "3", "--efforts", "0,1",
+            "--scale", "0.12",
+        ]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_bench_emission(self, capsys, tmp_path):
+        assert main(["bench", "--circuit", "c432", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "INPUT(" in out
+        path = tmp_path / "x.bench"
+        assert main([
+            "bench", "--circuit", "c432", "--scale", "0.3", "--out", str(path)
+        ]) == 0
+        assert path.exists()
+
+    def test_attack_sarlock(self, capsys):
+        code = main([
+            "attack", "--circuit", "c1908", "--scheme", "sarlock",
+            "--key-size", "4", "-N", "1", "--scale", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "composition equivalent: True" in out

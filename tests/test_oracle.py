@@ -1,0 +1,37 @@
+"""Oracle tests."""
+
+from repro.circuit.random_circuits import random_netlist
+from repro.circuit.simulator import evaluate
+from repro.oracle.oracle import Oracle
+
+
+def test_query_matches_simulation(small_circuit):
+    oracle = Oracle(small_circuit)
+    bits = {net: (i % 2) for i, net in enumerate(small_circuit.inputs)}
+    assert oracle.query(bits) == evaluate(small_circuit, bits)
+
+
+def test_query_counting(small_circuit):
+    oracle = Oracle(small_circuit)
+    assert oracle.query_count == 0
+    bits = {net: 0 for net in small_circuit.inputs}
+    oracle.query(bits)
+    oracle.query(bits)
+    assert oracle.query_count == 2
+
+
+def test_query_int_packing():
+    n = random_netlist(4, 15, seed=3)
+    oracle = Oracle(n)
+    pattern = 0b1010
+    packed = oracle.query_int(pattern)
+    bits = {net: (pattern >> j) & 1 for j, net in enumerate(n.inputs)}
+    expected = evaluate(n, bits)
+    for j, net in enumerate(n.outputs):
+        assert ((packed >> j) & 1) == expected[net]
+
+
+def test_interface_exposure(small_circuit):
+    oracle = Oracle(small_circuit)
+    assert oracle.input_names == small_circuit.inputs
+    assert oracle.output_names == small_circuit.outputs
