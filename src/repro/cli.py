@@ -3,10 +3,18 @@
 Subcommands map one-to-one onto the library's experiment runners::
 
     repro-lock figure1
-    repro-lock table1 --key-sizes 4,8 --scale 0.2
-    repro-lock table2 --scale 0.4 --time-limit 120
+    repro-lock table1 --key-sizes 4,8 --scale 0.2 --jobs 4
+    repro-lock table2 --scale 0.4 --time-limit 120 --jobs 8
+    repro-lock defense --circuit c1908 --key-size 4 -N 2
     repro-lock attack --circuit c6288 --scheme sarlock --key-size 8 -N 2
     repro-lock bench --circuit c7552 --scale 0.3 --out c7552.bench
+    repro-lock cache info
+
+Experiment subcommands share the runner flags: ``--jobs`` fans rows
+out over a process pool, ``--cache-dir`` relocates the on-disk result
+cache (default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-lock``) and
+``--no-cache`` disables it.  A warm cache replays a table without
+re-solving anything.
 """
 
 from __future__ import annotations
@@ -19,10 +27,51 @@ def _parse_int_list(text: str) -> tuple[int, ...]:
     return tuple(int(tok) for tok in text.split(",") if tok.strip())
 
 
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("runner")
+    group.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for experiment tasks (default: 1, serial)",
+    )
+    group.add_argument(
+        "--cache-dir", default="",
+        help="result-cache directory (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro-lock)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the result cache",
+    )
+    group.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-task progress lines on stderr",
+    )
+
+
+def _open_cache(cache_dir: str):
+    from repro.runner import ResultCache
+
+    cache = ResultCache(cache_dir or None)
+    if cache.root.exists() and not cache.root.is_dir():
+        raise SystemExit(
+            f"repro-lock: error: cache dir {cache.root} exists and is "
+            "not a directory"
+        )
+    return cache
+
+
+def _make_runner(args: argparse.Namespace):
+    from repro.runner import Runner, print_progress
+
+    cache = None if args.no_cache else _open_cache(args.cache_dir)
+    progress = None if args.quiet else print_progress
+    return Runner(jobs=max(1, args.jobs), cache=cache, progress=progress)
+
+
 def _cmd_figure1(args: argparse.Namespace) -> int:
     from repro.experiments.figure1 import run_figure1
 
-    result = run_figure1(correct_key=args.key)
+    result = run_figure1(correct_key=args.key, runner=_make_runner(args))
     print(result.format())
     return 0
 
@@ -36,6 +85,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         scale=args.scale,
         time_limit_per_task=args.time_limit,
         parallel=args.parallel,
+        runner=_make_runner(args),
     )
     print(result.format())
     return 0
@@ -60,20 +110,37 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         time_limit_per_task=args.time_limit,
         parallel=not args.sequential,
         verify=not args.no_verify,
+        runner=_make_runner(args),
     )
     print(result.format())
     return 0
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
     if args.which in ("splitting", "both"):
         from repro.experiments.ablation_splitting import run_splitting_ablation
 
-        print(run_splitting_ablation(scale=args.scale).format())
+        print(run_splitting_ablation(scale=args.scale, runner=runner).format())
     if args.which in ("synthesis", "both"):
         from repro.experiments.ablation_synthesis import run_synthesis_ablation
 
-        print(run_synthesis_ablation(scale=args.scale).format())
+        print(run_synthesis_ablation(scale=args.scale, runner=runner).format())
+    return 0
+
+
+def _cmd_defense(args: argparse.Namespace) -> int:
+    from repro.experiments.defense import run_defense_experiment
+
+    result = run_defense_experiment(
+        circuit=args.circuit,
+        scale=args.scale,
+        key_size=args.key_size,
+        effort=args.effort,
+        time_limit_per_task=args.time_limit,
+        runner=_make_runner(args),
+    )
+    print(result.format())
     return 0
 
 
@@ -131,6 +198,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _open_cache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear(kind=args.kind or None)
+        print(f"removed {removed} artifact(s) from {cache.root}")
+    else:
+        print(f"cache dir: {cache.root}")
+        if not cache.root.is_dir():
+            print("  (empty — nothing cached yet)")
+            return 0
+        for kind_dir in sorted(p for p in cache.root.iterdir() if p.is_dir()):
+            count = cache.entry_count(kind_dir.name)
+            print(f"  {kind_dir.name}: {count} artifact(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lock",
@@ -140,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure1", help="regenerate Fig. 1(a)/(b)")
     p.add_argument("--key", type=lambda s: int(s, 0), default=0b101)
+    _add_runner_args(p)
     p.set_defaults(func=_cmd_figure1)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (#DIP vs N)")
@@ -148,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--time-limit", type=float, default=None)
     p.add_argument("--parallel", action="store_true")
+    _add_runner_args(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="regenerate Table 2 (LUT runtimes)")
@@ -157,12 +242,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-limit", type=float, default=300.0)
     p.add_argument("--sequential", action="store_true")
     p.add_argument("--no-verify", action="store_true")
+    _add_runner_args(p)
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("ablation", help="run the A1/A2 ablations")
     p.add_argument("which", choices=("splitting", "synthesis", "both"))
     p.add_argument("--scale", type=float, default=0.3)
+    _add_runner_args(p)
     p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("defense", help="run the D1 countermeasure experiment")
+    p.add_argument("--circuit", default="c1908")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--key-size", type=int, default=5)
+    p.add_argument("-N", "--effort", type=int, default=3)
+    p.add_argument("--time-limit", type=float, default=300.0)
+    _add_runner_args(p)
+    p.set_defaults(func=_cmd_defense)
 
     p = sub.add_parser("attack", help="lock a benchmark and attack it")
     p.add_argument("--circuit", default="c6288")
@@ -180,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--out", default="")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=("info", "clear"))
+    p.add_argument("--kind", default="", help="limit clear to one task kind")
+    p.add_argument("--cache-dir", default="")
+    p.set_defaults(func=_cmd_cache)
 
     return parser
 

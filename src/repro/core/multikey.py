@@ -199,11 +199,9 @@ def multikey_attack(
     ]
 
     if parallel and len(payloads) > 1:
-        import multiprocessing
+        from repro.runner.executor import map_parallel
 
-        pool_size = processes or min(len(payloads), multiprocessing.cpu_count())
-        with multiprocessing.Pool(pool_size) as pool:
-            subtasks = pool.map(_run_subtask, payloads)
+        subtasks = map_parallel(_run_subtask, payloads, processes=processes)
     else:
         subtasks = [_run_subtask(p) for p in payloads]
 

@@ -14,9 +14,13 @@ Each module owns one artifact:
   synthesis on/off.
 
 Every runner accepts a scale/limits so the same code serves smoke
-tests, the pytest benchmarks and full-scale reproduction runs.
+tests, the pytest benchmarks and full-scale reproduction runs.  All of
+them submit their rows/cells as :mod:`repro.runner` tasks: pass a
+configured :class:`repro.runner.Runner` to fan work out across
+processes and reuse cached artifacts.
 """
 
+from repro.experiments.defense import DefenseResult, run_defense_experiment
 from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Result, run_table2
@@ -28,4 +32,6 @@ __all__ = [
     "Table2Result",
     "run_figure1",
     "Figure1Result",
+    "run_defense_experiment",
+    "DefenseResult",
 ]

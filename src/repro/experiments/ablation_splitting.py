@@ -5,18 +5,20 @@ number of key-controlled gates in their fan-out cones, arguing that
 pinning such inputs "can significantly simplify the netlist's logic".
 This ablation runs the multi-key attack with that heuristic against
 ``random`` and ``first`` selections and compares conditional-netlist
-sizes, #DIP and sub-task runtimes.
+sizes, #DIP and sub-task runtimes.  Each strategy arm is one
+``ablation_splitting_row`` task submitted through :mod:`repro.runner`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from statistics import fmean
 
 from repro.bench_circuits.iscas85 import iscas85_like
 from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table, seconds
 from repro.locking.lut_lock import LutModuleSpec, lut_lock
+from repro.runner import Runner, TaskSpec, register_task
 
 
 @dataclass
@@ -66,6 +68,33 @@ class SplittingAblationResult:
         )
 
 
+@register_task("ablation_splitting_row")
+def _splitting_row_task(params: dict) -> dict:
+    """Worker: the multi-key attack under one selection strategy."""
+    seed = params["seed"]
+    spec = LutModuleSpec(**params["spec"])
+    original = iscas85_like(params["circuit"], params["scale"])
+    locked = lut_lock(original, spec, seed=seed)
+    attack = multikey_attack(
+        locked,
+        original,
+        effort=params["effort"],
+        selection=params["strategy"],
+        seed=seed,
+        time_limit_per_task=params["time_limit_per_task"],
+    )
+    return asdict(
+        AblationRow(
+            strategy=params["strategy"],
+            mean_gates_after=fmean(t.gates_after for t in attack.subtasks),
+            total_dips=attack.total_dips,
+            max_seconds=attack.max_subtask_seconds,
+            mean_seconds=attack.mean_subtask_seconds,
+            status=attack.status,
+        )
+    )
+
+
 def run_splitting_ablation(
     circuit: str = "c6288",
     scale: float = 0.3,
@@ -74,29 +103,28 @@ def run_splitting_ablation(
     strategies: tuple[str, ...] = ("fanout", "random", "first"),
     seed: int = 1,
     time_limit_per_task: float | None = 120.0,
+    runner: Runner | None = None,
 ) -> SplittingAblationResult:
     """Compare splitting strategies on one LUT-locked benchmark."""
     spec = spec or LutModuleSpec.paper_scale()
-    original = iscas85_like(circuit, scale)
-    locked = lut_lock(original, spec, seed=seed)
+    runner = runner or Runner()
+    specs = [
+        TaskSpec(
+            kind="ablation_splitting_row",
+            params={
+                "circuit": circuit,
+                "scale": scale,
+                "effort": effort,
+                "spec": asdict(spec),
+                "strategy": strategy,
+                "seed": seed,
+                "time_limit_per_task": time_limit_per_task,
+            },
+            label=f"A1 {circuit} {strategy}",
+        )
+        for strategy in strategies
+    ]
     result = SplittingAblationResult(circuit=circuit, scale=scale, effort=effort)
-    for strategy in strategies:
-        attack = multikey_attack(
-            locked,
-            original,
-            effort=effort,
-            selection=strategy,
-            seed=seed,
-            time_limit_per_task=time_limit_per_task,
-        )
-        result.rows.append(
-            AblationRow(
-                strategy=strategy,
-                mean_gates_after=fmean(t.gates_after for t in attack.subtasks),
-                total_dips=attack.total_dips,
-                max_seconds=attack.max_subtask_seconds,
-                mean_seconds=attack.mean_subtask_seconds,
-                status=attack.status,
-            )
-        )
+    for task in runner.run(specs):
+        result.rows.append(AblationRow(**task.artifact))
     return result

@@ -3,18 +3,22 @@
 Algorithm 1 line 4 synthesizes each pinned netlist "to remove any
 redundant logic".  This ablation runs the same sub-attacks with the
 synthesis step disabled (the SAT attack still pins the inputs with
-unit clauses, so results are identical — only cost changes).
+unit clauses, so results are identical — only cost changes).  Each
+on/off arm is one ``ablation_synthesis_row`` task submitted through
+:mod:`repro.runner`; the worker reports the recovered keys so the
+driver can check the two arms agree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from statistics import fmean
 
 from repro.bench_circuits.iscas85 import iscas85_like
 from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table, seconds
 from repro.locking.lut_lock import LutModuleSpec, lut_lock
+from repro.runner import Runner, TaskSpec, register_task
 
 
 @dataclass
@@ -65,6 +69,36 @@ class SynthesisAblationResult:
         )
 
 
+@register_task("ablation_synthesis_row")
+def _synthesis_row_task(params: dict) -> dict:
+    """Worker: one arm (synthesis on or off) of the A2 comparison.
+
+    The artifact carries ``key_ints`` (not a row field) so the driver
+    can compute ``keys_match`` across arms without serializing netlists.
+    """
+    seed = params["seed"]
+    spec = LutModuleSpec(**params["spec"])
+    original = iscas85_like(params["circuit"], params["scale"])
+    locked = lut_lock(original, spec, seed=seed)
+    attack = multikey_attack(
+        locked,
+        original,
+        effort=params["effort"],
+        run_synthesis=params["run_synthesis"],
+        seed=seed,
+        time_limit_per_task=params["time_limit_per_task"],
+    )
+    return {
+        "synthesis": params["run_synthesis"],
+        "mean_gates": fmean(t.gates_after for t in attack.subtasks),
+        "total_dips": attack.total_dips,
+        "max_seconds": attack.max_subtask_seconds,
+        "mean_seconds": attack.mean_subtask_seconds,
+        "status": attack.status,
+        "key_ints": attack.key_ints,
+    }
+
+
 def run_synthesis_ablation(
     circuit: str = "c1355",
     scale: float = 0.3,
@@ -72,37 +106,38 @@ def run_synthesis_ablation(
     spec: LutModuleSpec | None = None,
     seed: int = 1,
     time_limit_per_task: float | None = 120.0,
+    runner: Runner | None = None,
 ) -> SynthesisAblationResult:
     """Run the multi-key attack with and without conditional synthesis."""
     spec = spec or LutModuleSpec.paper_scale()
-    original = iscas85_like(circuit, scale)
-    locked = lut_lock(original, spec, seed=seed)
+    runner = runner or Runner()
+    specs = [
+        TaskSpec(
+            kind="ablation_synthesis_row",
+            params={
+                "circuit": circuit,
+                "scale": scale,
+                "effort": effort,
+                "spec": asdict(spec),
+                "run_synthesis": run_synthesis,
+                "seed": seed,
+                "time_limit_per_task": time_limit_per_task,
+            },
+            label=f"A2 {circuit} synth={'on' if run_synthesis else 'off'}",
+        )
+        for run_synthesis in (True, False)
+    ]
     result = SynthesisAblationResult(circuit=circuit, scale=scale, effort=effort)
     reference_keys: list[int | None] | None = None
-    for run_synthesis in (True, False):
-        attack = multikey_attack(
-            locked,
-            original,
-            effort=effort,
-            run_synthesis=run_synthesis,
-            seed=seed,
-            time_limit_per_task=time_limit_per_task,
-        )
-        keys = attack.key_ints
+    for task in runner.run(specs):
+        artifact = dict(task.artifact)
+        keys = artifact.pop("key_ints")
         if reference_keys is None:
             reference_keys = keys
             keys_match = True
         else:
             keys_match = keys == reference_keys
         result.rows.append(
-            SynthesisAblationRow(
-                synthesis=run_synthesis,
-                mean_gates=fmean(t.gates_after for t in attack.subtasks),
-                total_dips=attack.total_dips,
-                max_seconds=attack.max_subtask_seconds,
-                mean_seconds=attack.mean_subtask_seconds,
-                keys_match=keys_match,
-                status=attack.status,
-            )
+            SynthesisAblationRow(keys_match=keys_match, **artifact)
         )
     return result

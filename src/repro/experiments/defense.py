@@ -9,18 +9,26 @@ SARLock across the two levers the attack relies on:
   (exact, via BDDs),
 * how much the conditional netlist shrinks,
 * what the multi-key attack actually costs against each.
+
+Each scheme is one ``defense_row`` task submitted through
+:mod:`repro.runner`, so the two arms run side by side under ``--jobs``
+and warm re-runs come from the result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.bench_circuits.iscas85 import iscas85_like
 from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table, seconds
 from repro.locking.defense import entangled_sarlock, splitting_resistance
 from repro.locking.sarlock import sarlock_lock
+from repro.runner import Runner, TaskSpec, register_task
 from repro.synth.library import estimate_area
+
+#: Scheme name -> locker; the task worker rebuilds the lock from this.
+DEFENSE_SCHEMES = ("sarlock", "entangled")
 
 
 @dataclass
@@ -75,6 +83,47 @@ class DefenseResult:
         )
 
 
+@register_task("defense_row")
+def _defense_row_task(params: dict) -> dict:
+    """Worker: lock with one scheme, measure resistance + attack cost."""
+    seed = params["seed"]
+    effort = params["effort"]
+    time_limit = params["time_limit_per_task"]
+    original = iscas85_like(params["circuit"], params["scale"])
+    base_area = estimate_area(original)
+    scheme = params["scheme"]
+    if scheme == "sarlock":
+        locked = sarlock_lock(original, params["key_size"], seed=seed)
+    elif scheme == "entangled":
+        locked = entangled_sarlock(
+            original, params["key_size"], seed=seed, resist_effort=effort
+        )
+    else:
+        raise ValueError(f"unknown defense scheme {scheme!r}")
+
+    resistance = splitting_resistance(locked, original, effort, seed=seed)
+    baseline = multikey_attack(
+        locked, original, effort=0,
+        time_limit_per_task=time_limit,
+    )
+    attack = multikey_attack(
+        locked, original, effort=effort,
+        time_limit_per_task=time_limit,
+    )
+    return asdict(
+        DefenseRow(
+            scheme=scheme,
+            subspace_keys=resistance.keys_unlocking_subspace,
+            gate_reduction=resistance.gate_reduction,
+            baseline_dips=baseline.total_dips,
+            multikey_max_dips=max(attack.dips_per_task),
+            multikey_max_seconds=attack.max_subtask_seconds,
+            area_overhead=estimate_area(locked.netlist) / base_area - 1,
+            status=attack.status,
+        )
+    )
+
+
 def run_defense_experiment(
     circuit: str = "c1908",
     scale: float = 0.3,
@@ -82,6 +131,7 @@ def run_defense_experiment(
     effort: int = 3,
     seed: int = 1,
     time_limit_per_task: float | None = 300.0,
+    runner: Runner | None = None,
 ) -> DefenseResult:
     """Compare plain SARLock against the entangled variant.
 
@@ -89,37 +139,26 @@ def run_defense_experiment(
     (``|K| <= |I| - N``) so the guarantee regime is what gets shown;
     push ``key_size`` past it to watch the guarantee degrade.
     """
-    original = iscas85_like(circuit, scale)
-    base_area = estimate_area(original)
+    runner = runner or Runner()
+    specs = [
+        TaskSpec(
+            kind="defense_row",
+            params={
+                "circuit": circuit,
+                "scale": scale,
+                "key_size": key_size,
+                "effort": effort,
+                "seed": seed,
+                "time_limit_per_task": time_limit_per_task,
+                "scheme": scheme,
+            },
+            label=f"D1 {circuit} {scheme}",
+        )
+        for scheme in DEFENSE_SCHEMES
+    ]
     result = DefenseResult(
         circuit=circuit, scale=scale, key_size=key_size, effort=effort
     )
-    schemes = {
-        "sarlock": sarlock_lock(original, key_size, seed=seed),
-        "entangled": entangled_sarlock(
-            original, key_size, seed=seed, resist_effort=effort
-        ),
-    }
-    for name, locked in schemes.items():
-        resistance = splitting_resistance(locked, original, effort, seed=seed)
-        baseline = multikey_attack(
-            locked, original, effort=0,
-            time_limit_per_task=time_limit_per_task,
-        )
-        attack = multikey_attack(
-            locked, original, effort=effort,
-            time_limit_per_task=time_limit_per_task,
-        )
-        result.rows.append(
-            DefenseRow(
-                scheme=name,
-                subspace_keys=resistance.keys_unlocking_subspace,
-                gate_reduction=resistance.gate_reduction,
-                baseline_dips=baseline.total_dips,
-                multikey_max_dips=max(attack.dips_per_task),
-                multikey_max_seconds=attack.max_subtask_seconds,
-                area_overhead=estimate_area(locked.netlist) / base_area - 1,
-                status=attack.status,
-            )
-        )
+    for task in runner.run(specs):
+        result.rows.append(DefenseRow(**task.artifact))
     return result

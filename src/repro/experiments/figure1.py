@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.attacks.brute_force import brute_force_keys
 from repro.circuit.gates import GateType
@@ -21,6 +21,7 @@ from repro.core.multikey import multikey_attack
 from repro.locking.metrics import error_matrix, format_error_matrix
 from repro.locking.sarlock import sarlock_lock
 from repro.oracle.oracle import Oracle
+from repro.runner import Runner, TaskSpec, register_task
 
 
 def paper_example_circuit() -> Netlist:
@@ -79,13 +80,39 @@ class Figure1Result:
         return "\n".join(lines)
 
 
-def run_figure1(correct_key: int = 0b101) -> Figure1Result:
+@register_task("figure1")
+def _figure1_task(params: dict) -> dict:
+    """Worker: both panels of Fig. 1 as one artifact."""
+    return asdict(_compute_figure1(params["correct_key"]))
+
+
+def figure1_task(correct_key: int) -> TaskSpec:
+    """The :class:`TaskSpec` for a Figure 1 regeneration."""
+    return TaskSpec(
+        kind="figure1",
+        params={"correct_key": correct_key},
+        label=f"figure1 k*={correct_key:03b}",
+    )
+
+
+def run_figure1(
+    correct_key: int = 0b101, runner: Runner | None = None
+) -> Figure1Result:
     """Regenerate both panels of Fig. 1.
 
     The default ``correct_key`` is the paper's ``101``.  Keys are
     displayed MSB-first (bit 2 = ``i2``'s comparator bit) to match the
     figure.
     """
+    runner = runner or Runner()
+    [task] = runner.run([figure1_task(correct_key)])
+    data = dict(task.artifact)
+    if data.get("incorrect_pair") is not None:
+        data["incorrect_pair"] = tuple(data["incorrect_pair"])
+    return Figure1Result(**data)
+
+
+def _compute_figure1(correct_key: int) -> Figure1Result:
     original = paper_example_circuit()
     locked = sarlock_lock(
         original,

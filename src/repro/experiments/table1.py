@@ -4,16 +4,21 @@ The paper's flow checker: SARLock's #DIP is deterministic
 (one DIP per wrong key in the reachable sub-space), so the expected
 shape is ``#DIP ~ 2^|K| - 1`` at ``N = 0``, roughly halving per unit of
 ``N``, with *identical* #DIP across the ``2^N`` parallel tasks.
+
+Every ``(key size, effort)`` grid entry is one ``table1_cell`` task
+submitted through :mod:`repro.runner`, so the grid fans out across
+cores and warm re-runs come straight from the result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.bench_circuits.iscas85 import iscas85_like
-from repro.core.multikey import MultiKeyResult, multikey_attack
+from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table
 from repro.locking.sarlock import sarlock_lock
+from repro.runner import Runner, TaskSpec, register_task
 
 
 @dataclass
@@ -64,6 +69,58 @@ class Table1Result:
         return format_table(headers, rows, title=title)
 
 
+@register_task("table1_cell")
+def _table1_cell_task(params: dict) -> dict:
+    """Worker: one SARLock attack at one (key size, effort) point."""
+    seed = params["seed"]
+    original = iscas85_like(params["circuit"], params["scale"])
+    locked = sarlock_lock(original, params["key_size"], seed=seed)
+    attack = multikey_attack(
+        locked,
+        original,
+        effort=params["effort"],
+        parallel=params.get("parallel", False),
+        time_limit_per_task=params["time_limit_per_task"],
+        seed=seed,
+    )
+    dips = attack.dips_per_task
+    return asdict(
+        Table1Cell(
+            key_size=params["key_size"],
+            effort=params["effort"],
+            dips_per_task=dips,
+            uniform=len(set(dips)) == 1,
+            max_dips=max(dips) if dips else 0,
+            status=attack.status,
+        )
+    )
+
+
+def table1_task(
+    key_size: int,
+    effort: int,
+    circuit: str,
+    scale: float,
+    seed: int,
+    time_limit_per_task: float | None,
+    parallel: bool = False,
+) -> TaskSpec:
+    """The :class:`TaskSpec` for one Table 1 grid entry."""
+    return TaskSpec(
+        kind="table1_cell",
+        params={
+            "key_size": key_size,
+            "effort": effort,
+            "circuit": circuit,
+            "scale": scale,
+            "seed": seed,
+            "time_limit_per_task": time_limit_per_task,
+        },
+        context={"parallel": parallel},
+        label=f"table1 |K|={key_size} N={effort}",
+    )
+
+
 def run_table1(
     key_sizes: tuple[int, ...] = (4, 8, 12),
     efforts: tuple[int, ...] = (0, 1, 2, 3, 4),
@@ -72,6 +129,7 @@ def run_table1(
     seed: int = 0,
     time_limit_per_task: float | None = None,
     parallel: bool = False,
+    runner: Runner | None = None,
 ) -> Table1Result:
     """Regenerate Table 1.
 
@@ -80,33 +138,33 @@ def run_table1(
     the key size and the splitting effort) but keeps pure-Python
     runtimes reasonable.
     """
-    original = iscas85_like(circuit, scale)
+    runner = runner or Runner()
+    specs = [
+        table1_task(
+            key_size=key_size,
+            effort=effort,
+            circuit=circuit,
+            scale=scale,
+            seed=seed,
+            time_limit_per_task=time_limit_per_task,
+            parallel=False,
+        )
+        for key_size in key_sizes
+        for effort in efforts
+    ]
+    # As in run_table2: give the 2^N sub-attack pool back to each cell
+    # when the runner's own pool has at most one cell to execute.
+    if parallel and (runner.jobs <= 1 or runner.pending_count(specs) <= 1):
+        specs = [
+            replace(task, context={**task.context, "parallel": True})
+            for task in specs
+        ]
     result = Table1Result(
         circuit=circuit,
         scale=scale,
         key_sizes=list(key_sizes),
         efforts=list(efforts),
     )
-    for key_size in key_sizes:
-        locked = sarlock_lock(original, key_size, seed=seed)
-        for effort in efforts:
-            attack: MultiKeyResult = multikey_attack(
-                locked,
-                original,
-                effort=effort,
-                parallel=parallel,
-                time_limit_per_task=time_limit_per_task,
-                seed=seed,
-            )
-            dips = attack.dips_per_task
-            result.cells.append(
-                Table1Cell(
-                    key_size=key_size,
-                    effort=effort,
-                    dips_per_task=dips,
-                    uniform=len(set(dips)) == 1,
-                    max_dips=max(dips) if dips else 0,
-                    status=attack.status,
-                )
-            )
+    for task in runner.run(specs):
+        result.cells.append(Table1Cell(**task.artifact))
     return result

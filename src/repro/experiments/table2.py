@@ -5,17 +5,22 @@ multi-key attack at ``N = 4`` (16 sub-tasks).  As in the paper we
 report the minimum / mean / maximum sub-task runtime and the
 ``maximum / baseline`` ratio — the attack's wall-clock cost on a
 16-core machine is its slowest sub-task.
+
+Each circuit is one ``table2_row`` task submitted through
+:mod:`repro.runner`: rows fan out across worker processes under
+``--jobs`` and re-runs come back from the on-disk result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.bench_circuits.iscas85 import iscas85_like
 from repro.core.compose import verify_composition
 from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table, seconds
 from repro.locking.lut_lock import LutModuleSpec, lut_lock
+from repro.runner import Runner, TaskSpec, register_task
 
 #: The paper's Table 2 benchmark list.
 TABLE2_CIRCUITS = (
@@ -88,6 +93,92 @@ class Table2Result:
         return format_table(headers, body, title=title)
 
 
+@register_task("table2_row")
+def _table2_row_task(params: dict) -> dict:
+    """Worker: lock one benchmark, run baseline + multi-key attack."""
+    spec = LutModuleSpec(**params["spec"])
+    seed = params["seed"]
+    time_limit = params["time_limit_per_task"]
+    original = iscas85_like(params["circuit"], params["scale"])
+    locked = lut_lock(original, spec, seed=seed)
+
+    baseline = multikey_attack(
+        locked,
+        original,
+        effort=0,
+        time_limit_per_task=time_limit,
+        seed=seed,
+    )
+    base_seconds = baseline.max_subtask_seconds
+
+    attack = multikey_attack(
+        locked,
+        original,
+        effort=params["effort"],
+        parallel=params.get("parallel", False),
+        processes=params.get("processes"),
+        time_limit_per_task=time_limit,
+        seed=seed,
+    )
+
+    equivalent: bool | None = None
+    if params["verify"] and attack.status == "ok":
+        equivalent = bool(
+            verify_composition(
+                locked, attack.splitting_inputs, attack.keys, original
+            )
+        )
+
+    return asdict(
+        Table2Row(
+            circuit=params["circuit"],
+            baseline_seconds=base_seconds,
+            baseline_status=baseline.status,
+            min_seconds=attack.min_subtask_seconds,
+            mean_seconds=attack.mean_subtask_seconds,
+            max_seconds=attack.max_subtask_seconds,
+            multikey_status=attack.status,
+            ratio=attack.max_subtask_seconds / max(base_seconds, 1e-9),
+            baseline_dips=baseline.total_dips,
+            dips_per_task=attack.dips_per_task,
+            composition_equivalent=equivalent,
+        )
+    )
+
+
+def table2_task(
+    circuit: str,
+    scale: float,
+    spec: LutModuleSpec,
+    effort: int,
+    time_limit_per_task: float | None,
+    seed: int,
+    verify: bool,
+    parallel: bool = False,
+    processes: int | None = None,
+) -> TaskSpec:
+    """The :class:`TaskSpec` for one Table 2 row.
+
+    Inner-attack parallelism goes in the (unhashed) execution context:
+    it changes how a row is computed, never what it contains, so serial
+    and fanned-out runs share cache entries.
+    """
+    return TaskSpec(
+        kind="table2_row",
+        params={
+            "circuit": circuit,
+            "scale": scale,
+            "spec": asdict(spec),
+            "effort": effort,
+            "time_limit_per_task": time_limit_per_task,
+            "seed": seed,
+            "verify": verify,
+        },
+        context={"parallel": parallel, "processes": processes},
+        label=f"table2 {circuit}",
+    )
+
+
 def run_table2(
     circuits: tuple[str, ...] = TABLE2_CIRCUITS,
     scale: float = 0.4,
@@ -98,6 +189,7 @@ def run_table2(
     time_limit_per_task: float | None = 300.0,
     seed: int = 1,
     verify: bool = True,
+    runner: Runner | None = None,
 ) -> Table2Result:
     """Regenerate Table 2.
 
@@ -105,53 +197,37 @@ def run_table2(
      14-input two-stage module).  ``verify=True`` additionally composes
     the 16 recovered keys per Fig. 1(b) and proves CEC equivalence —
     something the paper asserts but does not report per row.
+
+    ``runner`` fans rows out across processes and serves cached rows;
+    when its pool will execute more than one row the *inner* sub-task
+    pool is disabled so worker processes do not oversubscribe the
+    machine (a lone uncached row keeps its own 2^N-way pool).
     """
     spec = spec or LutModuleSpec.paper_scale()
-    result = Table2Result(scale=scale, effort=effort, spec=spec)
-    for name in circuits:
-        original = iscas85_like(name, scale)
-        locked = lut_lock(original, spec, seed=seed)
-
-        baseline = multikey_attack(
-            locked,
-            original,
-            effort=0,
-            time_limit_per_task=time_limit_per_task,
-            seed=seed,
-        )
-        base_seconds = baseline.max_subtask_seconds
-
-        attack = multikey_attack(
-            locked,
-            original,
+    runner = runner or Runner()
+    specs = [
+        table2_task(
+            circuit=name,
+            scale=scale,
+            spec=spec,
             effort=effort,
-            parallel=parallel,
-            processes=processes,
             time_limit_per_task=time_limit_per_task,
             seed=seed,
+            verify=verify,
+            parallel=False,
+            processes=processes,
         )
-
-        equivalent: bool | None = None
-        if verify and attack.status == "ok":
-            equivalent = bool(
-                verify_composition(
-                    locked, attack.splitting_inputs, attack.keys, original
-                )
-            )
-
-        result.rows.append(
-            Table2Row(
-                circuit=name,
-                baseline_seconds=base_seconds,
-                baseline_status=baseline.status,
-                min_seconds=attack.min_subtask_seconds,
-                mean_seconds=attack.mean_subtask_seconds,
-                max_seconds=attack.max_subtask_seconds,
-                multikey_status=attack.status,
-                ratio=attack.max_subtask_seconds / max(base_seconds, 1e-9),
-                baseline_dips=baseline.total_dips,
-                dips_per_task=attack.dips_per_task,
-                composition_equivalent=equivalent,
-            )
-        )
+        for name in circuits
+    ]
+    # Parallelism lives in exactly one place: the runner's pool when it
+    # will actually fan rows out, otherwise inside each row's 2^N
+    # sub-attacks.  Context is unhashed, so flipping it is cache-safe.
+    if parallel and (runner.jobs <= 1 or runner.pending_count(specs) <= 1):
+        specs = [
+            replace(task, context={**task.context, "parallel": True})
+            for task in specs
+        ]
+    result = Table2Result(scale=scale, effort=effort, spec=spec)
+    for task in runner.run(specs):
+        result.rows.append(Table2Row(**task.artifact))
     return result

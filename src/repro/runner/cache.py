@@ -1,0 +1,149 @@
+"""On-disk result cache keyed by task content hashes.
+
+Layout (one JSON artifact per task)::
+
+    <cache_root>/
+        table2_row/<sha256>.json
+        table1_cell/<sha256>.json
+        ...
+
+Each artifact records the spec that produced it (kind + params), the
+worker's compute time, a creation timestamp and the result payload.
+Entries are written atomically (temp file + rename) so a crashed or
+parallel run never leaves a half-written artifact; unreadable entries
+are treated as misses and overwritten.
+
+Invalidation is by deletion: remove a ``<kind>`` directory (or the
+whole root) to force recomputation, or bump
+:data:`repro.runner.task.CACHE_FORMAT_VERSION` in code when the
+artifact schema itself changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runner.task import CACHE_FORMAT_VERSION, TaskSpec
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-lock``."""
+    override = os.environ.get(CACHE_DIR_ENV, "")
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro-lock").expanduser()
+
+
+class ResultCache:
+    """A directory of content-addressed experiment artifacts."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: TaskSpec) -> Path:
+        return self.root / spec.kind / f"{spec.cache_key}.json"
+
+    def contains(self, spec: TaskSpec) -> bool:
+        """Whether an artifact file exists for ``spec`` (no validation,
+        no hit/miss accounting) — a cheap pre-flight probe."""
+        return self.path_for(spec).is_file()
+
+    def load(self, spec: TaskSpec) -> dict | None:
+        """The stored entry for ``spec``, or ``None`` on a miss.
+
+        The returned dict has at least ``artifact`` and
+        ``elapsed_seconds``.  Corrupt or schema-mismatched files count
+        as misses.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != CACHE_FORMAT_VERSION
+            or "artifact" not in entry
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self, spec: TaskSpec, artifact: dict, elapsed_seconds: float
+    ) -> Path:
+        """Atomically persist ``artifact`` for ``spec``; returns the path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "kind": spec.kind,
+            "key": spec.cache_key,
+            "params": dict(spec.params),
+            "elapsed_seconds": elapsed_seconds,
+            "created_unix": time.time(),
+            "artifact": artifact,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, indent=1, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self, kind: str | None = None) -> int:
+        """Delete artifacts (all, or one ``kind``); returns the count.
+
+        Also reaps orphaned ``.tmp-*`` files left by a killed writer;
+        those do not contribute to the returned count.
+        """
+        roots = [self.root / kind] if kind else [self.root]
+        removed = 0
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*.json")):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if not path.name.startswith("."):
+                    removed += 1
+        return removed
+
+    def entry_count(self, kind: str | None = None) -> int:
+        root = self.root / kind if kind else self.root
+        if not root.is_dir():
+            return 0
+        return sum(
+            1
+            for path in root.rglob("*.json")
+            if not path.name.startswith(".")
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

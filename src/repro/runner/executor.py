@@ -1,0 +1,182 @@
+"""The shared task executor: process pool + cache front-end.
+
+:class:`Runner` is the single seam every experiment driver submits
+work through.  It checks the :class:`~repro.runner.cache.ResultCache`
+first, fans cache misses out over a ``ProcessPoolExecutor`` (``jobs``
+workers), stores fresh artifacts back, and reports per-task progress
+and timing.  Results always come back in submission order regardless
+of completion order, so driver output is independent of scheduling.
+
+:func:`map_parallel` is the lower-level pool primitive, also used by
+:func:`repro.core.multikey.multikey_attack` for its ``2^N`` sub-tasks
+— one pool implementation for the whole codebase.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.runner.cache import ResultCache
+from repro.runner.task import TaskResult, TaskSpec, task_worker
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Progress callback: (result, completed_count, total_count).
+ProgressFn = Callable[[TaskResult, int, int], None]
+
+
+def map_parallel(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    processes: int | None = None,
+) -> list[_R]:
+    """``[fn(x) for x in items]`` on a process pool, order preserved.
+
+    ``fn`` must be a module-level callable (pickled by reference).
+    Degenerates to a plain loop for 0/1 items or ``processes=1``.
+    """
+    if len(items) <= 1 or processes == 1:
+        return [fn(item) for item in items]
+    import multiprocessing
+
+    workers = min(len(items), processes or multiprocessing.cpu_count())
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def _invoke(fn: Callable[[dict], dict], params: dict) -> tuple[dict, float]:
+    """Worker-side shim: run ``fn`` and time it where it executes."""
+    start = time.perf_counter()
+    artifact = fn(params)
+    return artifact, time.perf_counter() - start
+
+
+def print_progress(result: TaskResult, done: int, total: int) -> None:
+    """Default progress reporter (stderr, one line per finished task)."""
+    status = (
+        "cached"
+        if result.cached
+        else f"{result.elapsed_seconds:.2f}s"
+    )
+    print(
+        f"[{done}/{total}] {result.spec.describe()}: {status}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+@dataclass
+class Runner:
+    """Process-pool task executor with an optional on-disk cache.
+
+    Attributes:
+        jobs: Worker processes for cache misses (1 = in-process serial).
+        cache: Artifact store; ``None`` disables caching entirely.
+        progress: Per-task completion callback (e.g.
+            :func:`print_progress`); ``None`` is silent.
+    """
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+    progress: ProgressFn | None = None
+
+    def pending_count(self, specs: Sequence[TaskSpec]) -> int:
+        """How many of ``specs`` would actually execute (cache misses).
+
+        A cheap pre-flight probe (no hit/miss accounting): drivers use
+        it to decide whether parallelism belongs to this runner's pool
+        or inside the single task that is about to run.
+        """
+        if self.cache is None:
+            return len(specs)
+        return sum(1 for spec in specs if not self.cache.contains(spec))
+
+    def run(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+        """Execute ``specs``; results in submission order."""
+        total = len(specs)
+        results: list[TaskResult | None] = [None] * total
+        done = 0
+        pending: list[tuple[int, TaskSpec]] = []
+
+        for index, spec in enumerate(specs):
+            entry = self.cache.load(spec) if self.cache else None
+            if entry is not None:
+                result = TaskResult(
+                    spec=spec,
+                    artifact=entry["artifact"],
+                    elapsed_seconds=float(entry.get("elapsed_seconds", 0.0)),
+                    cached=True,
+                )
+                results[index] = result
+                done += 1
+                if self.progress:
+                    self.progress(result, done, total)
+            else:
+                pending.append((index, spec))
+
+        if self.jobs > 1 and len(pending) > 1:
+            done = self._run_pool(pending, results, done, total)
+        else:
+            for index, spec in pending:
+                artifact, elapsed = _invoke(
+                    task_worker(spec.kind), spec.worker_params
+                )
+                done = self._finish(
+                    results, index, spec, artifact, elapsed, done, total
+                )
+        return [result for result in results if result is not None]
+
+    def _run_pool(
+        self,
+        pending: list[tuple[int, TaskSpec]],
+        results: list[TaskResult | None],
+        done: int,
+        total: int,
+    ) -> int:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _invoke, task_worker(spec.kind), spec.worker_params
+                ): (index, spec)
+                for index, spec in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index, spec = futures[future]
+                    artifact, elapsed = future.result()
+                    done = self._finish(
+                        results, index, spec, artifact, elapsed, done, total
+                    )
+        return done
+
+    def _finish(
+        self,
+        results: list[TaskResult | None],
+        index: int,
+        spec: TaskSpec,
+        artifact: dict,
+        elapsed: float,
+        done: int,
+        total: int,
+    ) -> int:
+        if self.cache is not None:
+            self.cache.store(spec, artifact, elapsed)
+        result = TaskResult(
+            spec=spec, artifact=artifact, elapsed_seconds=elapsed, cached=False
+        )
+        results[index] = result
+        done += 1
+        if self.progress:
+            self.progress(result, done, total)
+        return done

@@ -22,6 +22,13 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep runner caching hermetic: no test reads or writes the user's
+    real ``~/.cache/repro-lock`` (CLI subcommands cache by default)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def small_circuit():
     """A deterministic 6-input random netlist used across suites."""

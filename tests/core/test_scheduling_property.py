@@ -1,0 +1,64 @@
+"""Property tests for the LPT schedule model.
+
+Complements :mod:`tests.core.test_scheduling`'s example-based cases
+with randomized duration lists: for any inputs the makespan must sit
+between the trivial lower bounds (longest single task, perfect load
+balance) and the serial upper bound (sum of all durations).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scheduling import lpt_schedule
+
+durations_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1,
+    max_size=48,
+)
+core_counts = st.integers(min_value=1, max_value=32)
+
+
+@given(durations_lists, core_counts)
+def test_makespan_within_fundamental_bounds(durations, num_cores):
+    schedule = lpt_schedule(durations, num_cores)
+    total = sum(durations)
+    longest = max(durations)
+    # Never better than running the single longest task...
+    assert schedule.makespan_seconds >= longest - 1e-9
+    # ... or than spreading the load perfectly over every core ...
+    assert schedule.makespan_seconds >= total / num_cores - 1e-6 * max(total, 1)
+    # ... and never worse than running everything serially.
+    assert schedule.makespan_seconds <= total + 1e-6 * max(total, 1)
+
+
+@given(durations_lists, core_counts)
+def test_every_task_scheduled_exactly_once(durations, num_cores):
+    schedule = lpt_schedule(durations, num_cores)
+    flat = sorted(i for core in schedule.assignment for i in core)
+    assert flat == list(range(len(durations)))
+    # Per-core loads are consistent with the assignment.
+    for load, tasks in zip(schedule.core_loads, schedule.assignment):
+        assert load == sum(durations[i] for i in tasks)
+
+
+@given(durations_lists)
+def test_single_core_is_serial_sum(durations):
+    schedule = lpt_schedule(durations, 1)
+    assert abs(schedule.makespan_seconds - sum(durations)) <= 1e-6 * max(
+        sum(durations), 1
+    )
+
+
+@given(durations_lists, core_counts)
+def test_greedy_list_scheduling_bound(durations, num_cores):
+    """Any greedy list schedule satisfies Graham's bound
+    ``makespan <= total/m + (1 - 1/m) * longest``."""
+    schedule = lpt_schedule(durations, num_cores)
+    bound = sum(durations) / num_cores + (
+        1 - 1 / num_cores
+    ) * max(durations)
+    assert schedule.makespan_seconds <= bound + 1e-6 * max(bound, 1)

@@ -9,8 +9,20 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for cmd in ("figure1", "table1", "table2", "attack", "bench", "ablation"):
+        for cmd in ("figure1", "table1", "table2", "attack", "bench",
+                    "ablation", "defense", "cache"):
             assert cmd in text
+
+    def test_runner_flags_on_experiment_commands(self):
+        parser = build_parser()
+        for cmd in ("figure1", "table1", "table2", "ablation", "defense"):
+            args = parser.parse_args(
+                [cmd] + (["both"] if cmd == "ablation" else [])
+                + ["--jobs", "4", "--cache-dir", "/tmp/x", "--no-cache"]
+            )
+            assert args.jobs == 4
+            assert args.cache_dir == "/tmp/x"
+            assert args.no_cache
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
@@ -40,6 +52,43 @@ class TestCommands:
             "bench", "--circuit", "c432", "--scale", "0.3", "--out", str(path)
         ]) == 0
         assert path.exists()
+
+    def test_table1_warm_cache_is_identical(self, capsys, tmp_path):
+        argv = [
+            "table1", "--key-sizes", "3", "--efforts", "0,1",
+            "--scale", "0.12", "--cache-dir", str(tmp_path), "--quiet",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+        assert (tmp_path / "table1_cell").is_dir()
+
+    def test_defense_runs(self, capsys):
+        assert main([
+            "defense", "--circuit", "c1908", "--scale", "0.25",
+            "--key-size", "4", "-N", "1", "--time-limit", "60",
+            "--no-cache", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "D1" in out and "entangled" in out
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        assert main([
+            "figure1", "--cache-dir", str(tmp_path), "--quiet"
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "figure1: 1 artifact(s)" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 artifact(s)" in capsys.readouterr().out
+
+    def test_cache_dir_naming_a_file_is_a_clean_error(self, tmp_path):
+        not_a_dir = tmp_path / "file.txt"
+        not_a_dir.write_text("x")
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["figure1", "--cache-dir", str(not_a_dir), "--quiet"])
 
     def test_attack_sarlock(self, capsys):
         code = main([
