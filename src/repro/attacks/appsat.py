@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from collections.abc import Mapping
 
 from repro.attacks.sat_attack import sat_attack
-from repro.circuit.simulator import evaluate
+from repro.circuit.simulator import random_stimuli_words
 from repro.locking.base import LockedCircuit, key_to_int
 from repro.oracle.oracle import Oracle
 
@@ -120,15 +120,21 @@ def appsat_attack(
         candidate = _candidate_key(locked, oracle, budget)
         if candidate is None:
             continue
-        errors = 0
+        # One bit-parallel sweep for the whole checkpoint: lane q of
+        # every word is random query q; the oracle still counts one
+        # query per lane.
         keyed = locked.apply_key(candidate)
-        for _ in range(queries_per_checkpoint):
-            pattern = {net: rng.getrandbits(1) for net in keyed.inputs}
-            got = evaluate(keyed, pattern)
-            expected = oracle.query(pattern)
-            random_queries += 1
-            if any(got[po] != expected[po] for po in expected):
-                errors += 1
+        compiled = keyed.compile()
+        stimuli = random_stimuli_words(
+            compiled.inputs, queries_per_checkpoint, rng
+        )
+        got = compiled.eval_mapping(stimuli, (1 << queries_per_checkpoint) - 1)
+        expected = oracle.query_vector(stimuli, queries_per_checkpoint)
+        random_queries += queries_per_checkpoint
+        diff = 0
+        for po in expected:
+            diff |= got[compiled.slot_of[po]] ^ expected[po]
+        errors = bin(diff).count("1")
         rate = errors / queries_per_checkpoint
         checkpoints.append(rate)
         if rate <= error_threshold:

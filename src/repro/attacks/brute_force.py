@@ -19,13 +19,19 @@ def brute_force_keys(
     """All keys matching the oracle on every input consistent with ``pin``.
 
     Exhaustive over both the key space and the input space; only
-    sensible when ``|I| + |K|`` is small (~20 bits).
+    sensible when ``|I| + |K|`` is small (~20 bits).  The golden
+    responses come from ONE bit-parallel :meth:`Oracle.query_batch`
+    sweep (still counted as one query per pattern); each candidate key
+    is checked against a compiled truth table of the keyed circuit.
     """
     num_inputs = len(locked.original_inputs)
     if num_inputs + locked.key_size > 22:
         raise ValueError("brute force limited to ~22 total input+key bits")
     pin = dict(pin or {})
     input_pos = {net: j for j, net in enumerate(locked.original_inputs)}
+    for net in pin:
+        if net not in input_pos:
+            raise ValueError(f"pinned net {net!r} is not an original input")
 
     def consistent(pattern: int) -> bool:
         return all(
@@ -36,27 +42,43 @@ def brute_force_keys(
     candidate_patterns = [
         p for p in range(1 << num_inputs) if consistent(p)
     ]
-    golden = {
-        p: oracle.query(
-            {net: (p >> j) & 1 for j, net in enumerate(locked.original_inputs)}
-        )
-        for p in candidate_patterns
-    }
+    # Oracle inputs may be ordered differently from the locked view;
+    # remap each packed pattern onto the oracle's own bit order.
+    oracle_pos = {net: j for j, net in enumerate(oracle.input_names)}
+    remap = [oracle_pos[net] for net in locked.original_inputs]
+    golden = oracle.query_batch(
+        [
+            sum(
+                1 << remap[j]
+                for j in range(num_inputs)
+                if (p >> j) & 1
+            )
+            for p in candidate_patterns
+        ]
+    )
+    output_order = oracle.output_names
 
     good_keys = []
+    lanes: list[int] | None = None
     for key in range(1 << locked.key_size):
         keyed = locked.apply_key(key)
         tables = truth_table(keyed)
-        pos = {net: j for j, net in enumerate(keyed.inputs)}
+        if lanes is None:
+            # keyed.inputs is identical for every key (the original
+            # inputs in locked-netlist order), so the pattern -> lane
+            # mapping is computed once and reused.
+            pos = {net: j for j, net in enumerate(keyed.inputs)}
+            shift = [pos[net] for net in locked.original_inputs]
+            lanes = [
+                sum(1 << shift[j] for j in range(num_inputs) if (p >> j) & 1)
+                for p in candidate_patterns
+            ]
         ok = True
-        for p in candidate_patterns:
-            lane = 0
-            for net, j in input_pos.items():
-                if (p >> j) & 1:
-                    lane |= 1 << pos[net]
+        for idx, lane in enumerate(lanes):
+            packed = golden[idx]
             if any(
-                ((tables[out] >> lane) & 1) != golden[p][out]
-                for out in keyed.outputs
+                ((tables[out] >> lane) & 1) != ((packed >> k) & 1)
+                for k, out in enumerate(output_order)
             ):
                 ok = False
                 break

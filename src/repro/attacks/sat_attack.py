@@ -12,6 +12,10 @@ space.
 
 Implementation notes (all standard, all load-bearing for speed):
 
+* The locked netlist is compiled once (``netlist.compile()``); the DIP
+  loop works entirely on integer slots — solver variables live in
+  slot-indexed arrays, and the per-DIP simulation is one sweep over
+  the compiled gate program.
 * Only the *key-controlled* cone is duplicated; the key-independent
   majority of the circuit is encoded once and shared by both halves.
 * Per-DIP constraint copies are built from a single-pattern simulation:
@@ -30,10 +34,8 @@ import time
 from dataclasses import dataclass, field
 from collections.abc import Mapping
 
-from repro.circuit.analysis import key_controlled_gates
 from repro.circuit.cnf import encode_gate
-from repro.circuit.netlist import Gate
-from repro.circuit.simulator import simulate
+from repro.circuit.simulator import random_stimuli_words
 from repro.locking.base import LockedCircuit, key_to_int
 from repro.oracle.oracle import Oracle
 from repro.sat.solver import Solver
@@ -109,46 +111,59 @@ def sat_attack(
     start = time.perf_counter()
     pin = dict(pin or {})
     netlist = locked.netlist
+    compiled = netlist.compile()
+    slot_of = compiled.slot_of
+    num_slots = compiled.num_slots
     key_set = set(locked.key_inputs)
     for net in pin:
         if net not in netlist.inputs or net in key_set:
             raise ValueError(f"pinned net {net!r} is not a primary input")
 
-    controlled = key_controlled_gates(netlist, locked.key_inputs)
-    topo = netlist.topological_order()
-    shared_gates = [g for g in topo if g.output not in controlled]
-    cone_gates = [g for g in topo if g.output in controlled]
+    key_slots = [slot_of[net] for net in locked.key_inputs]
+    controlled = compiled.tainted_slots(key_slots)
+    gate_types = compiled.gate_types
+    gate_out = compiled.gate_output_slots
+    gate_fanins = compiled.gate_fanin_slots
+    shared_idx = [i for i, out in enumerate(gate_out) if not controlled[out]]
+    cone_idx = [i for i, out in enumerate(gate_out) if controlled[out]]
 
     solver = Solver()
-    input_vars = {
-        net: solver.new_var() for net in netlist.inputs if net not in key_set
-    }
-    key1 = {net: solver.new_var() for net in locked.key_inputs}
-    key2 = {net: solver.new_var() for net in locked.key_inputs}
+    # Slot-indexed solver variables (0 = no variable for that slot).
+    shared_vars = [0] * num_slots
+    input_vars: dict[str, int] = {}
+    for name in compiled.inputs:
+        if name in key_set:
+            continue
+        var = solver.new_var()
+        shared_vars[slot_of[name]] = var
+        input_vars[name] = var
+    key1 = [0] * num_slots
+    key2 = [0] * num_slots
+    for s in key_slots:
+        key1[s] = solver.new_var()
+    for s in key_slots:
+        key2[s] = solver.new_var()
 
     # Key-independent logic, encoded once and shared by both halves.
-    shared_vars = dict(input_vars)
-    for gate in shared_gates:
+    # (Untainted gates cannot read a key slot, so every fanin already
+    # has a shared variable by topological order.)
+    for i in shared_idx:
         out = solver.new_var()
-        shared_vars[gate.output] = out
+        shared_vars[gate_out[i]] = out
         encode_gate(
-            solver, gate.gtype, out, [_look(shared_vars, key1, src) for src in gate.inputs]
+            solver, gate_types[i], out, [shared_vars[s] for s in gate_fanins[i]]
         )
 
-    def encode_cone(key_vars: dict[str, int]) -> dict[str, int]:
-        half: dict[str, int] = {}
-        for gate in cone_gates:
-            out = solver.new_var()
+    def encode_cone(key_vars: list[int]) -> list[int]:
+        half = [0] * num_slots
+        for i in cone_idx:
             ins = []
-            for src in gate.inputs:
-                if src in half:
-                    ins.append(half[src])
-                elif src in key_vars:
-                    ins.append(key_vars[src])
-                else:
-                    ins.append(shared_vars[src])
-            encode_gate(solver, gate.gtype, out, ins)
-            half[gate.output] = out
+            for s in gate_fanins[i]:
+                var = half[s] or key_vars[s] or shared_vars[s]
+                ins.append(var)
+            out = solver.new_var()
+            encode_gate(solver, gate_types[i], out, ins)
+            half[gate_out[i]] = out
         return half
 
     half1 = encode_cone(key1)
@@ -158,10 +173,12 @@ def sat_attack(
     # cannot differ between the halves.
     act = solver.new_var()
     diff_vars = []
-    for po in netlist.outputs:
-        if po not in controlled:
+    controlled_pos: list[tuple[str, int]] = []
+    for po, po_slot in zip(compiled.outputs, compiled.output_slots):
+        if not controlled[po_slot]:
             continue
-        va, vb = half1[po], half2[po]
+        controlled_pos.append((po, po_slot))
+        va, vb = half1[po_slot], half2[po_slot]
         diff = solver.new_var()
         solver.add_clauses(
             [[-diff, va, vb], [-diff, -va, -vb], [diff, -va, vb], [diff, va, -vb]]
@@ -176,8 +193,7 @@ def sat_attack(
     true_var = solver.new_var()
     solver.add_clause([true_var])
 
-    zero_key = {net: 0 for net in locked.key_inputs}
-    controlled_pos = [po for po in netlist.outputs if po in controlled]
+    input_names = compiled.inputs
 
     iterations: list[AttackIteration] = []
     num_dips = 0
@@ -202,25 +218,25 @@ def sat_attack(
         response = oracle.query(dip)
         num_dips += 1
 
-        # Values of all key-independent nets under this DIP.
-        values = simulate(netlist, {**dip, **zero_key}, width=1)
+        # Values of all key-independent slots under this DIP (key = 0).
+        words = [dip.get(name, 0) for name in input_names]
+        values = compiled.eval_words(words, 1)
 
         for key_vars in (key1, key2):
-            copy_vars: dict[str, int] = {}
-            for gate in cone_gates:
+            copy_vars = [0] * num_slots
+            for i in cone_idx:
                 ins = []
-                for src in gate.inputs:
-                    if src in copy_vars:
-                        ins.append(copy_vars[src])
-                    elif src in key_vars:
-                        ins.append(key_vars[src])
+                for s in gate_fanins[i]:
+                    var = copy_vars[s] or key_vars[s]
+                    if var:
+                        ins.append(var)
                     else:  # key-independent: substitute the simulated constant
-                        ins.append(true_var if values[src] else -true_var)
+                        ins.append(true_var if values[s] else -true_var)
                 out = solver.new_var()
-                encode_gate(solver, gate.gtype, out, ins)
-                copy_vars[gate.output] = out
-            for po in controlled_pos:
-                var = copy_vars[po]
+                encode_gate(solver, gate_types[i], out, ins)
+                copy_vars[gate_out[i]] = out
+            for po, po_slot in controlled_pos:
+                var = copy_vars[po_slot]
                 solver.add_clause([var if response[po] else -var])
 
         if record_iterations:
@@ -238,8 +254,8 @@ def sat_attack(
         # (and is exact when the DIP loop ran to completion).
         if solver.solve(assumptions=[-act]):
             key = {
-                net: bool(solver.model_value(var))
-                for net, var in key1.items()
+                net: bool(solver.model_value(key1[slot_of[net]]))
+                for net in locked.key_inputs
             }
         elif status == "ok":  # pragma: no cover - k* satisfies everything
             status = "no_key"
@@ -257,17 +273,6 @@ def sat_attack(
     )
 
 
-def _look(shared: dict[str, int], keys: dict[str, int], net: str) -> int:
-    """Variable of a net feeding the shared region (never key-driven)."""
-    var = shared.get(net)
-    if var is None:
-        raise KeyError(
-            f"net {net!r} feeds key-independent logic but is not shared "
-            "(is a key input wired outside its cone?)"
-        )
-    return var
-
-
 def verify_key_against_oracle(
     locked: LockedCircuit,
     key: Mapping[str, bool] | int,
@@ -281,18 +286,19 @@ def verify_key_against_oracle(
     The attacker has no golden netlist, so full CEC is impossible for
     them; random differential testing against the oracle is the
     realistic check.  ``pin`` restricts sampled patterns to a sub-space.
+    All ``num_samples`` patterns run as ONE bit-parallel sweep on each
+    side (the oracle still counts ``num_samples`` queries).
     """
     import random
 
+    if num_samples < 1:
+        return True
     rng = random.Random(seed)
     keyed = locked.apply_key(key)
-    pin = dict(pin or {})
-    for _ in range(num_samples):
-        pattern = {
-            net: pin.get(net, rng.getrandbits(1)) for net in keyed.inputs
-        }
-        got = {po: v for po, v in simulate(keyed, pattern).items()}
-        expected = oracle.query(pattern)
-        if any(got[po] != expected[po] for po in expected):
-            return False
-    return True
+    compiled = keyed.compile()
+    stimuli = random_stimuli_words(compiled.inputs, num_samples, rng, pin)
+    got = compiled.eval_mapping(stimuli, (1 << num_samples) - 1)
+    expected = oracle.query_vector(stimuli, num_samples)
+    return all(
+        got[compiled.slot_of[po]] == expected[po] for po in expected
+    )

@@ -16,7 +16,13 @@ from repro.circuit.analysis import (
     rank_inputs_by_key_influence,
 )
 from repro.circuit.bench import format_bench, parse_bench
-from repro.circuit.cnf import NetlistEncoding, encode_netlist
+from repro.circuit.cnf import (
+    CompiledEncoding,
+    NetlistEncoding,
+    encode_compiled,
+    encode_netlist,
+)
+from repro.circuit.compiled import CompiledCircuit, CompileError
 from repro.circuit.equivalence import EquivalenceResult, check_equivalence, build_miter
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Gate, Netlist, NetlistError
@@ -24,6 +30,7 @@ from repro.circuit.simulator import (
     evaluate,
     exhaustive_patterns,
     simulate,
+    simulate_reference,
     truth_table,
 )
 from repro.circuit.verilog import format_verilog, write_verilog_file
@@ -33,9 +40,12 @@ __all__ = [
     "Gate",
     "Netlist",
     "NetlistError",
+    "CompiledCircuit",
+    "CompileError",
     "parse_bench",
     "format_bench",
     "simulate",
+    "simulate_reference",
     "evaluate",
     "truth_table",
     "exhaustive_patterns",
@@ -46,7 +56,9 @@ __all__ = [
     "key_controlled_gates",
     "rank_inputs_by_key_influence",
     "encode_netlist",
+    "encode_compiled",
     "NetlistEncoding",
+    "CompiledEncoding",
     "check_equivalence",
     "build_miter",
     "EquivalenceResult",

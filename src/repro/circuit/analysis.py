@@ -4,6 +4,14 @@ Includes the fan-out-cone statistics behind the paper's splitting-input
 selection: *"determined through a fan-out cone analysis of the
 netlist's input ports, prioritizing those with the most key-controlled
 gates in their fan-out cones"* (§4).
+
+Analyses of complete netlists run over the compiled arrays of
+:meth:`Netlist.compile` — one cached topological sort shared with
+simulation and CNF encoding instead of a fresh sort per query.  The
+cone walks (:func:`fanin_cone`, :func:`fanout_cone`) also accept
+netlists under construction (locking passes query cones mid-splice,
+when a net may be temporarily undriven), falling back to the dict walk
+unless a valid compiled form is already cached.
 """
 
 from __future__ import annotations
@@ -11,27 +19,39 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable, Sequence
 
+from repro.circuit.compiled import CompiledCircuit
 from repro.circuit.netlist import Netlist
+
+
+def _cached_compiled(netlist: Netlist) -> CompiledCircuit | None:
+    """The netlist's compiled form if (and only if) it is already cached
+    and still valid — never triggers compilation."""
+    cached = netlist._compiled
+    if cached is not None and cached[0] == netlist._structure_guard():
+        return cached[1]
+    return None
 
 
 def levelize(netlist: Netlist) -> dict[str, int]:
     """Topological level of every net (inputs are level 0)."""
-    levels: dict[str, int] = {net: 0 for net in netlist.inputs}
-    for gate in netlist.topological_order():
-        levels[gate.output] = 1 + max(
-            (levels[src] for src in gate.inputs), default=0
-        )
-    return levels
+    compiled = netlist.compile()
+    return dict(zip(compiled.net_names, compiled.levels()))
 
 
 def depth(netlist: Netlist) -> int:
     """Logic depth: maximum level over all nets."""
-    levels = levelize(netlist)
-    return max(levels.values(), default=0)
+    levels = netlist.compile().levels()
+    return max(levels, default=0)
 
 
 def fanin_cone(netlist: Netlist, net: str) -> set[str]:
     """All nets in the transitive fanin of ``net`` (inclusive)."""
+    compiled = _cached_compiled(netlist)
+    if compiled is not None and net in compiled.slot_of:
+        names = compiled.net_names
+        return {
+            names[s] for s in compiled.fanin_cone_slots(compiled.slot_of[net])
+        }
     cone: set[str] = set()
     queue = deque([net])
     while queue:
@@ -52,6 +72,12 @@ def fanin_support(netlist: Netlist, net: str) -> set[str]:
 
 def fanout_cone(netlist: Netlist, net: str) -> set[str]:
     """All gate outputs transitively depending on ``net`` (exclusive)."""
+    compiled = _cached_compiled(netlist)
+    if compiled is not None and net in compiled.slot_of:
+        names = compiled.net_names
+        return {
+            names[s] for s in compiled.fanout_cone_slots(compiled.slot_of[net])
+        }
     fanout_map = netlist.fanouts()
     cone: set[str] = set()
     queue = deque(fanout_map.get(net, ()))
@@ -67,15 +93,18 @@ def fanout_cone(netlist: Netlist, net: str) -> set[str]:
 def key_controlled_gates(netlist: Netlist, key_inputs: Iterable[str]) -> set[str]:
     """Gate outputs whose fanin cone contains at least one key input.
 
-    Computed as a single taint-propagation sweep in topological order.
+    Computed as a single taint-propagation sweep over the compiled gate
+    arrays.
     """
-    tainted = set(key_inputs)
-    controlled: set[str] = set()
-    for gate in netlist.topological_order():
-        if any(src in tainted for src in gate.inputs):
-            tainted.add(gate.output)
-            controlled.add(gate.output)
-    return controlled
+    compiled = netlist.compile()
+    slot_of = compiled.slot_of
+    tainted = compiled.tainted_slots(slot_of[net] for net in key_inputs)
+    names = compiled.net_names
+    return {
+        names[out]
+        for out in compiled.gate_output_slots
+        if tainted[out]
+    }
 
 
 def rank_inputs_by_key_influence(
@@ -93,24 +122,30 @@ def rank_inputs_by_key_influence(
     key_set = set(key_inputs)
     if candidates is None:
         candidates = [net for net in netlist.inputs if net not in key_set]
-    controlled = key_controlled_gates(netlist, key_inputs)
+    compiled = netlist.compile()
+    slot_of = compiled.slot_of
+    controlled = compiled.tainted_slots(slot_of[net] for net in key_inputs)
+    # Key inputs themselves are tainted seeds, not controlled *gates*.
+    for net in key_inputs:
+        controlled[slot_of[net]] = False
 
-    # One reverse sweep per candidate is simple and fast enough; the
-    # sizes here are ISCAS-class (hundreds of PIs, thousands of gates).
-    fanout_map = netlist.fanouts()
+    # One reverse sweep per candidate over the compiled fanout arrays is
+    # simple and fast enough; the sizes here are ISCAS-class (hundreds
+    # of PIs, thousands of gates).
+    readers = compiled.fanout_slots()
 
     def count_controlled(net: str) -> int:
-        seen: set[str] = set()
-        stack = list(fanout_map.get(net, ()))
+        seen = [False] * compiled.num_slots
+        stack = list(readers[slot_of[net]])
         hits = 0
         while stack:
             current = stack.pop()
-            if current in seen:
+            if seen[current]:
                 continue
-            seen.add(current)
-            if current in controlled:
+            seen[current] = True
+            if controlled[current]:
                 hits += 1
-            stack.extend(fanout_map.get(current, ()))
+            stack.extend(readers[current])
         return hits
 
     ranked = [(net, count_controlled(net)) for net in candidates]
@@ -121,12 +156,14 @@ def rank_inputs_by_key_influence(
 
 def cone_statistics(netlist: Netlist) -> dict[str, dict[str, int]]:
     """Per-output support and cone-size statistics (reporting helper)."""
+    compiled = netlist.compile()
     stats: dict[str, dict[str, int]] = {}
-    input_set = set(netlist.inputs)
-    for net in netlist.outputs:
-        cone = fanin_cone(netlist, net)
+    num_inputs = len(compiled.inputs)
+    for net, slot in zip(compiled.outputs, compiled.output_slots):
+        cone = compiled.fanin_cone_slots(slot)
+        support = sum(1 for s in cone if s < num_inputs)
         stats[net] = {
-            "cone_gates": len(cone - input_set),
-            "support": len(cone & input_set),
+            "cone_gates": len(cone) - support,
+            "support": support,
         }
     return stats

@@ -1,10 +1,20 @@
-"""Tseitin encoding of netlists into CNF."""
+"""Tseitin encoding of netlists into CNF.
+
+Encoding runs over the compiled circuit IR: gates are read from the
+flat parallel arrays of a :class:`~repro.circuit.compiled.CompiledCircuit`
+and net-to-variable lookup is a dense slot-indexed array instead of a
+name dict.  In the common case (fresh CNF, nothing shared) variable
+``slot + 1`` IS the slot, so consumers that work slot-wise never touch
+a string key.  :func:`encode_netlist` remains the name-keyed wrapper
+for callers that want a ``net -> var`` mapping.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Mapping
 
+from repro.circuit.compiled import CompiledCircuit
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
 from repro.sat import (
@@ -22,6 +32,23 @@ from repro.sat import (
 
 
 @dataclass
+class CompiledEncoding:
+    """Result of encoding a compiled circuit: CNF plus slot-indexed vars."""
+
+    cnf: CNF
+    compiled: CompiledCircuit
+    slot_vars: list[int]
+
+    def var(self, net: str) -> int:
+        """DIMACS variable of a net (name-keyed convenience)."""
+        return self.slot_vars[self.compiled.slot_of[net]]
+
+    def lit(self, net: str, value: bool = True) -> int:
+        var = self.var(net)
+        return var if value else -var
+
+
+@dataclass
 class NetlistEncoding:
     """Result of encoding a netlist: the CNF and the net-to-variable map."""
 
@@ -34,38 +61,53 @@ class NetlistEncoding:
         return var if value else -var
 
 
+def encode_compiled(
+    compiled: CompiledCircuit,
+    cnf: CNF | None = None,
+    share: Mapping[str, int] | None = None,
+) -> CompiledEncoding:
+    """Encode every gate of ``compiled`` into ``cnf``, slot-indexed.
+
+    Slots map to a contiguous block of fresh variables (the identity
+    ``var = slot + 1`` on a fresh CNF); ``share`` pre-assigns variables
+    to named nets (typically primary inputs shared with another circuit
+    copy, as in a miter).  Auxiliary variables for wide XOR chains are
+    allocated after the slot block.
+    """
+    if cnf is None:
+        cnf = CNF()
+    slot_vars = [0] * compiled.num_slots
+    if share:
+        slot_of = compiled.slot_of
+        for net, var in share.items():
+            slot_vars[slot_of[net]] = var
+    for slot in range(compiled.num_slots):
+        if not slot_vars[slot]:
+            slot_vars[slot] = cnf.new_var()
+
+    for gtype, out_slot, fanins in zip(
+        compiled.gate_types, compiled.gate_output_slots, compiled.gate_fanin_slots
+    ):
+        encode_gate(
+            cnf, gtype, slot_vars[out_slot], [slot_vars[s] for s in fanins]
+        )
+    return CompiledEncoding(cnf=cnf, compiled=compiled, slot_vars=slot_vars)
+
+
 def encode_netlist(
     netlist: Netlist,
     cnf: CNF | None = None,
     share: Mapping[str, int] | None = None,
 ) -> NetlistEncoding:
-    """Encode every gate of ``netlist`` into ``cnf``.
+    """Encode every gate of ``netlist`` into ``cnf`` (name-keyed wrapper).
 
-    ``share`` pre-assigns variables to named nets (typically primary
-    inputs that must be shared with another circuit copy, as in a
-    miter).  All other nets receive fresh variables.
+    ``share`` pre-assigns variables to named nets; all other nets
+    receive fresh variables.  Compiles the netlist (cached) and builds
+    the ``net -> var`` dict from the slot array once.
     """
-    if cnf is None:
-        cnf = CNF()
-    var_of: dict[str, int] = dict(share or {})
-
-    def var(net: str) -> int:
-        existing = var_of.get(net)
-        if existing is not None:
-            return existing
-        fresh = cnf.new_var()
-        var_of[net] = fresh
-        return fresh
-
-    for net in netlist.inputs:
-        var(net)
-
-    for gate in netlist.topological_order():
-        out = var(gate.output)
-        ins = [var(src) for src in gate.inputs]
-        encode_gate(cnf, gate.gtype, out, ins)
-
-    return NetlistEncoding(cnf=cnf, var_of=var_of)
+    enc = encode_compiled(netlist.compile(), cnf, share)
+    var_of = dict(zip(enc.compiled.net_names, enc.slot_vars))
+    return NetlistEncoding(cnf=enc.cnf, var_of=var_of)
 
 
 def encode_gate(cnf: CNF, gtype: GateType, out: int, ins: list[int]) -> None:

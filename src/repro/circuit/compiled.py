@@ -1,0 +1,495 @@
+"""Compiled circuit IR: the integer-indexed evaluation core.
+
+A :class:`CompiledCircuit` is built once from a :class:`Netlist` and is
+the shared substrate for every hot path — simulation, oracle queries,
+CNF encoding, equivalence checking, structural analysis.  Compilation
+interns every net into a dense integer *slot* (primary inputs first, in
+declaration order, then gate outputs in cached topological order) and
+lowers each gate to an arity-specialized opcode over slot indices, so
+evaluation is a single sweep over flat parallel arrays with list
+indexing instead of per-gate dict lookups and per-call topological
+sorts.
+
+The division of labour with :class:`Netlist` is deliberate:
+
+* ``Netlist`` stays the **mutable construction IR** — locking schemes
+  and synthesis passes splice, fold and rebuild it freely.
+* ``CompiledCircuit`` is the **immutable evaluation IR** — content-
+  hashable (so it can key result caches) and safe to share across
+  consumers.  ``netlist.compile()`` is the single seam between the
+  two; it caches the compiled form and invalidates on structural
+  change (see :meth:`repro.circuit.netlist.Netlist.compile`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
+
+from repro.circuit.gates import GateType, valid_arity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (netlist imports us)
+    from repro.circuit.netlist import Gate, Netlist
+
+
+class CompileError(Exception):
+    """The netlist cannot be lowered (undriven fanin, undriven output)."""
+
+
+# Arity-specialized opcodes.  The 2-input forms cover the vast majority
+# of gates in every circuit family here; the *_N forms loop.
+_AND2 = 0
+_OR2 = 1
+_XOR2 = 2
+_NAND2 = 3
+_NOR2 = 4
+_XNOR2 = 5
+_NOT = 6
+_BUF = 7
+_MUX = 8
+_CONST0 = 9
+_CONST1 = 10
+_AND_N = 11
+_OR_N = 12
+_XOR_N = 13
+_NAND_N = 14
+_NOR_N = 15
+_XNOR_N = 16
+
+_BINARY_OP = {
+    GateType.AND: _AND2,
+    GateType.OR: _OR2,
+    GateType.XOR: _XOR2,
+    GateType.NAND: _NAND2,
+    GateType.NOR: _NOR2,
+    GateType.XNOR: _XNOR2,
+}
+_NARY_OP = {
+    GateType.AND: _AND_N,
+    GateType.OR: _OR_N,
+    GateType.XOR: _XOR_N,
+    GateType.NAND: _NAND_N,
+    GateType.NOR: _NOR_N,
+    GateType.XNOR: _XNOR_N,
+}
+# Single-fanin AND(a) == BUF(a), NAND(a) == NOT(a), etc.
+_UNARY_OP = {
+    GateType.AND: _BUF,
+    GateType.OR: _BUF,
+    GateType.XOR: _BUF,
+    GateType.BUF: _BUF,
+    GateType.NAND: _NOT,
+    GateType.NOR: _NOT,
+    GateType.XNOR: _NOT,
+    GateType.NOT: _NOT,
+}
+
+
+def exhaustive_words(num_inputs: int) -> list[int]:
+    """Bit-parallel stimuli covering all ``2**num_inputs`` patterns.
+
+    Entry *j* is the word driving input *j*: lane ``p`` holds bit ``j``
+    of the pattern index ``p`` (input 0 is the LSB of the index).
+    """
+    if num_inputs < 0:
+        raise ValueError("num_inputs must be non-negative")
+    if num_inputs > 24:
+        raise ValueError("exhaustive simulation beyond 24 inputs is unreasonable")
+    total = 1 << num_inputs
+    words = []
+    for j in range(num_inputs):
+        period = 1 << (j + 1)
+        half = 1 << j
+        block = ((1 << half) - 1) << half  # 'half' zeros then 'half' ones
+        value = 0
+        for start in range(0, total, period):
+            value |= block << start
+        words.append(value)
+    return words
+
+
+class CompiledCircuit:
+    """Immutable, integer-indexed form of a combinational netlist.
+
+    Treat every attribute as read-only; the instance is shared by the
+    owning netlist's compile cache and by any consumer that captured it
+    (oracles, encoders, the runner cache).
+    """
+
+    __slots__ = (
+        "name",
+        "inputs",
+        "outputs",
+        "num_slots",
+        "net_names",
+        "slot_of",
+        "output_slots",
+        "gates",
+        "gate_types",
+        "gate_output_slots",
+        "gate_fanin_slots",
+        "_program",
+        "_scratch",
+        "_fanout_slots",
+        "_driver",
+        "_content_hash",
+    )
+
+    def __init__(self, netlist: "Netlist"):
+        order = netlist.topological_order()
+        slot_of: dict[str, int] = {}
+        for net in netlist.inputs:
+            slot_of[net] = len(slot_of)
+        for gate in order:
+            slot_of[gate.output] = len(slot_of)
+
+        self.name = netlist.name
+        self.inputs = tuple(netlist.inputs)
+        self.outputs = tuple(netlist.outputs)
+        self.num_slots = len(slot_of)
+        self.slot_of = slot_of
+        names = [""] * self.num_slots
+        for net, slot in slot_of.items():
+            names[slot] = net
+        self.net_names = tuple(names)
+        try:
+            self.output_slots = tuple(slot_of[net] for net in netlist.outputs)
+        except KeyError as exc:
+            raise CompileError(f"primary output {exc.args[0]!r} is undriven") from None
+
+        self.gates = tuple(order)
+        self.gate_types = tuple(g.gtype for g in order)
+        self.gate_output_slots = tuple(slot_of[g.output] for g in order)
+        fanin_slots = []
+        for gate in order:
+            try:
+                fanin_slots.append(tuple(slot_of[src] for src in gate.inputs))
+            except KeyError as exc:
+                raise CompileError(
+                    f"gate {gate.output!r} reads undriven net {exc.args[0]!r}"
+                ) from None
+        self.gate_fanin_slots = tuple(fanin_slots)
+        self._program = tuple(
+            _lower(g.gtype, out, fanins)
+            for g, out, fanins in zip(order, self.gate_output_slots, fanin_slots)
+        )
+        self._scratch = [0] * self.num_slots
+        self._fanout_slots: tuple[tuple[int, ...], ...] | None = None
+        self._driver: tuple[int, ...] | None = None
+        self._content_hash: str | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def slot(self, net: str) -> int:
+        """Dense slot index of a net (KeyError for unknown nets)."""
+        return self.slot_of[net]
+
+    def fanout_slots(self) -> tuple[tuple[int, ...], ...]:
+        """Per slot, the output slots of the gates reading it (cached)."""
+        cached = self._fanout_slots
+        if cached is None:
+            readers: list[list[int]] = [[] for _ in range(self.num_slots)]
+            for out, fanins in zip(self.gate_output_slots, self.gate_fanin_slots):
+                for src in fanins:
+                    readers[src].append(out)
+            cached = tuple(tuple(r) for r in readers)
+            self._fanout_slots = cached
+        return cached
+
+    def levels(self) -> list[int]:
+        """Topological level per slot (primary inputs are level 0)."""
+        levels = [0] * self.num_slots
+        for out, fanins in zip(self.gate_output_slots, self.gate_fanin_slots):
+            levels[out] = 1 + max((levels[s] for s in fanins), default=0)
+        return levels
+
+    def tainted_slots(self, seeds: Iterable[int]) -> list[bool]:
+        """Taint propagation: slots transitively depending on ``seeds``.
+
+        One forward sweep over the gate arrays; seed slots themselves
+        are marked.  This is the compiled form of key-controlled-gate
+        analysis.
+        """
+        tainted = [False] * self.num_slots
+        for s in seeds:
+            tainted[s] = True
+        for out, fanins in zip(self.gate_output_slots, self.gate_fanin_slots):
+            for s in fanins:
+                if tainted[s]:
+                    tainted[out] = True
+                    break
+        return tainted
+
+    def fanin_cone_slots(self, slot: int) -> set[int]:
+        """Transitive fanin of ``slot`` (inclusive), as slot indices."""
+        driver = self._driver_index()
+        cone: set[int] = set()
+        stack = [slot]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            gi = driver[current]
+            if gi >= 0:
+                stack.extend(self.gate_fanin_slots[gi])
+        return cone
+
+    def fanout_cone_slots(self, slot: int) -> set[int]:
+        """Gate-output slots transitively depending on ``slot`` (exclusive)."""
+        readers = self.fanout_slots()
+        cone: set[int] = set()
+        stack = list(readers[slot])
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            stack.extend(readers[current])
+        return cone
+
+    def _driver_index(self) -> tuple[int, ...]:
+        """Per slot, the index of its driving gate (-1 for inputs); cached."""
+        cached = self._driver
+        if cached is None:
+            driver = [-1] * self.num_slots
+            for gi, out in enumerate(self.gate_output_slots):
+                driver[out] = gi
+            cached = tuple(driver)
+            self._driver = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def eval_words(self, input_words: Sequence[int], mask: int) -> list[int]:
+        """Evaluate bit-parallel words into a fresh slot-indexed list.
+
+        ``input_words`` aligns with :attr:`inputs`; ``mask`` has a 1 in
+        every active lane.  Returns the value of every slot.
+        """
+        values = [0] * self.num_slots
+        self._eval_into(values, input_words, mask)
+        return values
+
+    def _eval_into(
+        self, values: list[int], input_words: Sequence[int], mask: int
+    ) -> None:
+        if len(input_words) != len(self.inputs):
+            raise ValueError(
+                f"expected {len(self.inputs)} input words, got {len(input_words)}"
+            )
+        for slot, word in enumerate(input_words):  # input slot i == i
+            values[slot] = word & mask
+        for op, out, operands in self._program:
+            if op == _AND2:
+                a, b = operands
+                values[out] = values[a] & values[b]
+            elif op == _NAND2:
+                a, b = operands
+                values[out] = (values[a] & values[b]) ^ mask
+            elif op == _OR2:
+                a, b = operands
+                values[out] = values[a] | values[b]
+            elif op == _NOR2:
+                a, b = operands
+                values[out] = (values[a] | values[b]) ^ mask
+            elif op == _XOR2:
+                a, b = operands
+                values[out] = values[a] ^ values[b]
+            elif op == _XNOR2:
+                a, b = operands
+                values[out] = values[a] ^ values[b] ^ mask
+            elif op == _NOT:
+                values[out] = values[operands] ^ mask
+            elif op == _BUF:
+                values[out] = values[operands]
+            elif op == _MUX:
+                s, d1, d0 = operands
+                sel = values[s]
+                values[out] = (sel & values[d1]) | ((sel ^ mask) & values[d0])
+            elif op == _CONST0:
+                values[out] = 0
+            elif op == _CONST1:
+                values[out] = mask
+            elif op == _AND_N or op == _NAND_N:
+                acc = mask
+                for s in operands:
+                    acc &= values[s]
+                values[out] = acc if op == _AND_N else acc ^ mask
+            elif op == _OR_N or op == _NOR_N:
+                acc = 0
+                for s in operands:
+                    acc |= values[s]
+                values[out] = acc if op == _OR_N else acc ^ mask
+            else:  # _XOR_N / _XNOR_N
+                acc = 0
+                for s in operands:
+                    acc ^= values[s]
+                values[out] = acc if op == _XOR_N else acc ^ mask
+
+    def eval_single(
+        self, input_bits: Mapping[str, int] | Sequence[int]
+    ) -> dict[str, int]:
+        """One pattern, name-keyed result: output net -> bit.
+
+        ``input_bits`` is a mapping from input name to 0/1 or a
+        sequence aligned with :attr:`inputs`.  This is the shared
+        normalization used by ``simulator.evaluate`` and
+        ``Oracle.query``; keep validation and error wording here.
+        """
+        if isinstance(input_bits, Mapping):
+            try:
+                words = [input_bits[net] for net in self.inputs]
+            except KeyError as exc:
+                raise KeyError(
+                    f"missing value for primary input {exc.args[0]!r}"
+                ) from None
+        else:
+            if len(input_bits) != len(self.inputs):
+                raise ValueError(
+                    f"expected {len(self.inputs)} input bits, "
+                    f"got {len(input_bits)}"
+                )
+            words = list(input_bits)
+        return dict(zip(self.outputs, self.eval_outputs(words, 1)))
+
+    def eval_outputs(self, input_words: Sequence[int], mask: int) -> list[int]:
+        """Like :meth:`eval_words` but returns only primary-output words.
+
+        Uses the preallocated scratch slot list — nothing escapes — so
+        repeated calls allocate no per-call slot storage.
+        """
+        scratch = self._scratch
+        self._eval_into(scratch, input_words, mask)
+        return [scratch[s] for s in self.output_slots]
+
+    def evaluate_pattern(self, pattern: int) -> int:
+        """Single pattern, packed: bit *j* of ``pattern`` drives input *j*;
+        bit *k* of the result is output *k*."""
+        words = [(pattern >> j) & 1 for j in range(len(self.inputs))]
+        scratch = self._scratch
+        self._eval_into(scratch, words, 1)
+        packed = 0
+        for k, s in enumerate(self.output_slots):
+            if scratch[s]:
+                packed |= 1 << k
+        return packed
+
+    def eval_batch(self, patterns: Sequence[int]) -> list[int]:
+        """Evaluate many packed patterns in one bit-parallel sweep.
+
+        Pattern *p* occupies lane *p*; returns one packed output word
+        per pattern (bit *k* = output *k*).
+        """
+        width = len(patterns)
+        if width == 0:
+            return []
+        mask = (1 << width) - 1
+        words = []
+        for j in range(len(self.inputs)):
+            word = 0
+            for lane, pattern in enumerate(patterns):
+                if (pattern >> j) & 1:
+                    word |= 1 << lane
+            words.append(word)
+        scratch = self._scratch
+        self._eval_into(scratch, words, mask)
+        out_words = [scratch[s] for s in self.output_slots]
+        results = []
+        for lane in range(width):
+            packed = 0
+            for k, word in enumerate(out_words):
+                if (word >> lane) & 1:
+                    packed |= 1 << k
+            results.append(packed)
+        return results
+
+    def eval_mapping(self, stimuli: Mapping[str, int], mask: int) -> list[int]:
+        """Evaluate name-keyed stimuli; returns the full slot list."""
+        try:
+            words = [stimuli[name] for name in self.inputs]
+        except KeyError as exc:
+            raise KeyError(
+                f"missing value for primary input {exc.args[0]!r}"
+            ) from None
+        return self.eval_words(words, mask)
+
+    def truth_table_words(self) -> list[int]:
+        """Exhaustive sweep: one ``2**n``-bit word per primary output."""
+        n = len(self.inputs)
+        words = exhaustive_words(n)
+        values = self.eval_words(words, (1 << (1 << n)) - 1)
+        return [values[s] for s in self.output_slots]
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def _structure(self) -> tuple:
+        return (
+            self.inputs,
+            self.outputs,
+            tuple(
+                (g.gtype.value, out, fanins)
+                for g, out, fanins in zip(
+                    self.gates, self.gate_output_slots, self.gate_fanin_slots
+                )
+            ),
+        )
+
+    def content_hash(self) -> str:
+        """SHA-256 over the interned structure (stable across processes).
+
+        Names of internal nets do not contribute — two netlists that
+        intern to the same slot graph with the same interface hash
+        identically — so the hash can key the runner's on-disk result
+        cache without leaking gensym'd net names into cache identity.
+        """
+        cached = self._content_hash
+        if cached is None:
+            hasher = hashlib.sha256()
+            hasher.update(repr(self._structure()).encode("utf-8"))
+            cached = hasher.hexdigest()
+            self._content_hash = cached
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompiledCircuit):
+            return NotImplemented
+        return self._structure() == other._structure()
+
+    def __hash__(self) -> int:
+        return hash(self._structure())
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, gates={len(self.gates)})"
+        )
+
+
+def _lower(gtype: GateType, out: int, fanins: tuple[int, ...]):
+    """Lower one gate to an ``(opcode, out_slot, operands)`` triple."""
+    if not valid_arity(gtype, len(fanins)):  # pragma: no cover - Gate validates
+        raise CompileError(f"{gtype} with illegal arity {len(fanins)}")
+    if gtype is GateType.MUX:
+        return (_MUX, out, fanins)
+    if gtype is GateType.CONST0:
+        return (_CONST0, out, ())
+    if gtype is GateType.CONST1:
+        return (_CONST1, out, ())
+    if len(fanins) == 1:
+        return (_UNARY_OP[gtype], out, fanins[0])
+    if len(fanins) == 2:
+        return (_BINARY_OP[gtype], out, fanins)
+    return (_NARY_OP[gtype], out, fanins)

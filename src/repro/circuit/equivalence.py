@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuit.cnf import encode_netlist
+from repro.circuit.cnf import encode_compiled
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist, NetlistError, fresh_net_namer
 from repro.sat import CNF
@@ -72,15 +72,15 @@ def check_equivalence(a: Netlist, b: Netlist) -> EquivalenceResult:
     """
     _check_interfaces(a, b)
     cnf = CNF()
-    enc_a = encode_netlist(a, cnf)
-    shared_inputs = {net: enc_a.var_of[net] for net in a.inputs}
-    enc_b = encode_netlist(b, cnf, share=shared_inputs)
+    enc_a = encode_compiled(a.compile(), cnf)
+    shared_inputs = {net: enc_a.var(net) for net in a.inputs}
+    enc_b = encode_compiled(b.compile(), cnf, share=shared_inputs)
 
     # XOR each output pair, OR the XORs, assert the OR.
     diff_vars = []
     for out in a.outputs:
         diff = cnf.new_var()
-        va, vb = enc_a.var_of[out], enc_b.var_of[out]
+        va, vb = enc_a.var(out), enc_b.var(out)
         cnf.add_clauses(
             [
                 [-diff, va, vb],
@@ -98,13 +98,13 @@ def check_equivalence(a: Netlist, b: Netlist) -> EquivalenceResult:
             equivalent=True, solver_stats=solver.stats.as_dict()
         )
     counterexample = {
-        net: int(solver.model_value(enc_a.var_of[net]) or 0) for net in a.inputs
+        net: int(solver.model_value(enc_a.var(net)) or 0) for net in a.inputs
     }
     outputs_a = {
-        net: int(solver.model_value(enc_a.var_of[net]) or 0) for net in a.outputs
+        net: int(solver.model_value(enc_a.var(net)) or 0) for net in a.outputs
     }
     outputs_b = {
-        net: int(solver.model_value(enc_b.var_of[net]) or 0) for net in b.outputs
+        net: int(solver.model_value(enc_b.var(net)) or 0) for net in b.outputs
     }
     return EquivalenceResult(
         equivalent=False,

@@ -5,16 +5,24 @@ nets.  Primary inputs and gate outputs share one namespace; each net is
 driven by exactly one source (an input declaration or one gate).
 
 The IR is deliberately simple — a dict of :class:`Gate` keyed by output
-net — because every other subsystem (simulation, synthesis, locking,
-CNF encoding) walks it in topological order and rebuilds what it needs.
+net — and optimized for *construction*: locking schemes and synthesis
+passes splice and rebuild it freely.  Every evaluation-heavy consumer
+(simulation, oracle queries, CNF encoding, CEC, structural analysis)
+goes through :meth:`Netlist.compile`, which lowers the netlist once
+into an immutable :class:`repro.circuit.compiled.CompiledCircuit` and
+caches it until the structure changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.circuit.gates import GateType, valid_arity
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from repro.circuit.compiled import CompiledCircuit
 
 
 class NetlistError(Exception):
@@ -53,6 +61,10 @@ class Netlist:
     outputs: list[str] = field(default_factory=list)
     gates: dict[str, Gate] = field(default_factory=dict)
 
+    # Compile cache: (structure guard, CompiledCircuit).  Not a dataclass
+    # field, so copies and dataclass equality never see it.
+    _compiled = None
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -61,6 +73,7 @@ class Netlist:
             raise NetlistError(f"net {net!r} already driven by a gate")
         if net in self.inputs:
             raise NetlistError(f"duplicate input {net!r}")
+        self._compiled = None
         self.inputs.append(net)
         return net
 
@@ -73,13 +86,16 @@ class Netlist:
             raise NetlistError(f"net {output!r} already driven by a gate")
         if output in self.inputs:
             raise NetlistError(f"net {output!r} is a primary input")
+        self._compiled = None
         self.gates[output] = Gate(output, gtype, tuple(inputs))
         return output
 
     def set_outputs(self, nets: Iterable[str]) -> None:
+        self._compiled = None
         self.outputs = list(nets)
 
     def add_output(self, net: str) -> str:
+        self._compiled = None
         self.outputs.append(net)
         return net
 
@@ -129,13 +145,71 @@ class Netlist:
         self.topological_order()  # raises on combinational loops
 
     # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _structure_guard(self) -> tuple:
+        """Cheap fingerprint used to invalidate the compile cache.
+
+        Mutations through the construction API invalidate eagerly; this
+        guard additionally catches direct mutation of ``inputs``,
+        ``outputs`` or ``gates`` that changes a length or the last
+        inserted gate.  Code that *replaces* a gate in place (same key,
+        same count) on a netlist that may already be compiled must call
+        :meth:`invalidate_compiled` explicitly.
+        """
+        last_gate = next(reversed(self.gates)) if self.gates else None
+        return (
+            len(self.inputs),
+            len(self.gates),
+            len(self.outputs),
+            last_gate,
+            self.outputs[-1] if self.outputs else None,
+        )
+
+    def compile(self) -> "CompiledCircuit":
+        """The integer-indexed evaluation form of this netlist, cached.
+
+        The result is immutable and shared: simulation, oracle queries,
+        CNF encoding, CEC and structural analysis all evaluate through
+        it, and its content hash can key result caches.  The cache is
+        invalidated by any structural change made through the
+        construction API (see :meth:`_structure_guard` for the rules on
+        direct mutation).
+        """
+        guard = self._structure_guard()
+        cached = self._compiled
+        if cached is not None and cached[0] == guard:
+            return cached[1]
+        from repro.circuit.compiled import CompiledCircuit
+
+        compiled = CompiledCircuit(self)
+        self._compiled = (guard, compiled)
+        return compiled
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compile cache after direct structural mutation."""
+        self._compiled = None
+
+    def __getstate__(self) -> dict:
+        """Pickle without the compile cache (worker processes recompile);
+        keeps runner task payloads lean."""
+        state = dict(self.__dict__)
+        state.pop("_compiled", None)
+        return state
+
+    # ------------------------------------------------------------------
     # Ordering
     # ------------------------------------------------------------------
     def topological_order(self) -> list[Gate]:
         """Gates sorted so every gate follows its fanins.
 
-        Raises :class:`NetlistError` if the netlist has a cycle.
+        Raises :class:`NetlistError` if the netlist has a cycle.  When a
+        valid compiled form is cached, its stored order is reused
+        instead of re-sorting.
         """
+        cached = self._compiled
+        if cached is not None and cached[0] == self._structure_guard():
+            return list(cached[1].gates)
         order: list[Gate] = []
         state: dict[str, int] = {}  # 0 = visiting, 1 = done
         for net in self.inputs:

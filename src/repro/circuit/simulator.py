@@ -5,13 +5,22 @@ is one simulation pattern.  Because Python integers are arbitrary
 precision, exhaustively simulating a 20-input circuit is a single
 sweep with 2**20-bit lanes — no numpy needed, and still fast because
 the work per gate is one big-int operation.
+
+The public functions are thin mapping-based wrappers over the compiled
+evaluation core (:meth:`Netlist.compile`): the netlist is lowered once
+to an integer-indexed :class:`repro.circuit.compiled.CompiledCircuit`
+and every call evaluates over flat slot arrays instead of re-sorting
+and dict-walking the netlist.  :func:`simulate_reference` keeps the
+original dict-walk implementation as the independent parity baseline
+(and as the "legacy" side of ``benchmarks/test_bench_sim.py``).
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.circuit.gates import GateType, eval_gate
+from repro.circuit.compiled import exhaustive_words
+from repro.circuit.gates import eval_gate
 from repro.circuit.netlist import Netlist
 
 
@@ -23,6 +32,23 @@ def simulate(
     ``input_values`` maps every primary input to an integer whose low
     ``width`` bits are the per-pattern values.  Returns the value of
     every net.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    compiled = netlist.compile()
+    values = compiled.eval_mapping(input_values, (1 << width) - 1)
+    return dict(zip(compiled.net_names, values))
+
+
+def simulate_reference(
+    netlist: Netlist, input_values: Mapping[str, int], width: int = 1
+) -> dict[str, int]:
+    """The original per-gate dict-walk simulator.
+
+    Functionally identical to :func:`simulate` but re-sorts the netlist
+    and walks string-keyed dicts on every call.  Kept as the
+    independent implementation that property tests and the simulation
+    benchmark compare the compiled core against.
     """
     if width < 1:
         raise ValueError("width must be positive")
@@ -47,15 +73,7 @@ def evaluate(
     ``input_bits`` is either a mapping from input name to 0/1 or a
     sequence aligned with ``netlist.inputs``.
     """
-    if not isinstance(input_bits, Mapping):
-        if len(input_bits) != len(netlist.inputs):
-            raise ValueError(
-                f"expected {len(netlist.inputs)} input bits, "
-                f"got {len(input_bits)}"
-            )
-        input_bits = dict(zip(netlist.inputs, input_bits))
-    values = simulate(netlist, input_bits, width=1)
-    return {net: values[net] for net in netlist.outputs}
+    return netlist.compile().eval_single(input_bits)
 
 
 def exhaustive_patterns(num_inputs: int) -> list[int]:
@@ -65,21 +83,7 @@ def exhaustive_patterns(num_inputs: int) -> list[int]:
     ``p`` holds bit ``j`` of the pattern index ``p``.  Input 0 is the
     least significant bit of the pattern index.
     """
-    if num_inputs < 0:
-        raise ValueError("num_inputs must be non-negative")
-    if num_inputs > 24:
-        raise ValueError("exhaustive simulation beyond 24 inputs is unreasonable")
-    total = 1 << num_inputs
-    patterns = []
-    for j in range(num_inputs):
-        period = 1 << (j + 1)
-        half = 1 << j
-        block = ((1 << half) - 1) << half  # 'half' zeros then 'half' ones
-        value = 0
-        for start in range(0, total, period):
-            value |= block << start
-        patterns.append(value)
-    return patterns
+    return exhaustive_words(num_inputs)
 
 
 def truth_table(netlist: Netlist) -> dict[str, int]:
@@ -88,12 +92,8 @@ def truth_table(netlist: Netlist) -> dict[str, int]:
     Bit ``p`` of the result is the output under input pattern ``p``,
     where bit *j* of ``p`` is the value of ``netlist.inputs[j]``.
     """
-    n = len(netlist.inputs)
-    stimuli = exhaustive_patterns(n)
-    values = simulate(
-        netlist, dict(zip(netlist.inputs, stimuli)), width=1 << n
-    )
-    return {net: values[net] for net in netlist.outputs}
+    compiled = netlist.compile()
+    return dict(zip(compiled.outputs, compiled.truth_table_words()))
 
 
 def outputs_as_int(output_values: Mapping[str, int], outputs: Sequence[str]) -> int:
@@ -111,3 +111,30 @@ def random_patterns(num_inputs: int, width: int, seed: int = 0) -> list[int]:
 
     rng = random.Random(seed)
     return [rng.getrandbits(width) for _ in range(num_inputs)]
+
+
+def random_stimuli_words(
+    inputs: Sequence[str],
+    num_lanes: int,
+    rng,
+    pin: Mapping[str, bool] | None = None,
+) -> dict[str, int]:
+    """Lane-transposed random single-bit stimuli: input name -> word.
+
+    Draws one bit per (lane, input) in lane-major order — the same RNG
+    stream as a historical per-pattern ``{net: rng.getrandbits(1)}``
+    loop — so batched callers stay seed-for-seed compatible with their
+    per-pattern predecessors.  ``pin`` overrides named inputs with
+    constants; the pinned position still consumes a draw, again to
+    preserve the stream.
+    """
+    pin = pin or {}
+    words = {net: 0 for net in inputs}
+    for lane in range(num_lanes):
+        for net in inputs:
+            bit = rng.getrandbits(1)
+            if net in pin:
+                bit = int(pin[net])
+            if bit:
+                words[net] |= 1 << lane
+    return words

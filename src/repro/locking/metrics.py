@@ -28,16 +28,25 @@ def _locked_truth_tables(locked: LockedCircuit) -> dict[str, int]:
     return truth_table(locked.netlist)
 
 
+def _lane_shifts(locked: LockedCircuit) -> tuple[list[int], list[int]]:
+    """Bit positions of the original/key input ports in the locked
+    netlist's lane index — computed once, not per (input, key) pair."""
+    position = {net: i for i, net in enumerate(locked.netlist.inputs)}
+    input_shift = [position[net] for net in locked.original_inputs]
+    key_shift = [position[net] for net in locked.key_inputs]
+    return input_shift, key_shift
+
+
 def _pattern_index(locked: LockedCircuit, input_pattern: int, key_pattern: int) -> int:
     """Lane index for (input, key) in the locked circuit's truth table."""
-    position = {net: i for i, net in enumerate(locked.netlist.inputs)}
+    input_shift, key_shift = _lane_shifts(locked)
     index = 0
-    for j, net in enumerate(locked.original_inputs):
+    for j, shift in enumerate(input_shift):
         if (input_pattern >> j) & 1:
-            index |= 1 << position[net]
-    for j, net in enumerate(locked.key_inputs):
+            index |= 1 << shift
+    for j, shift in enumerate(key_shift):
         if (key_pattern >> j) & 1:
-            index |= 1 << position[net]
+            index |= 1 << shift
     return index
 
 
@@ -54,19 +63,28 @@ def error_matrix(locked: LockedCircuit, original: Netlist) -> list[list[bool]]:
     num_keys = locked.key_size
     # Original circuit may order inputs differently; map patterns by name.
     orig_pos = {net: i for i, net in enumerate(original.inputs)}
+    input_shift, key_shift = _lane_shifts(locked)
+    key_lane = [
+        sum(1 << key_shift[j] for j in range(num_keys) if (k >> j) & 1)
+        for k in range(1 << num_keys)
+    ]
+    outputs = list(original.outputs)
 
     matrix: list[list[bool]] = []
     for i in range(1 << num_inputs):
         orig_index = 0
-        for j, net in enumerate(locked.original_inputs):
+        base_lane = 0
+        for j in range(num_inputs):
             if (i >> j) & 1:
-                orig_index |= 1 << orig_pos[net]
+                orig_index |= 1 << orig_pos[locked.original_inputs[j]]
+                base_lane |= 1 << input_shift[j]
+        golden = [(tt_orig[out] >> orig_index) & 1 for out in outputs]
         row = []
         for k in range(1 << num_keys):
-            lane = _pattern_index(locked, i, k)
+            lane = base_lane | key_lane[k]
             err = any(
-                ((tt_locked[out] >> lane) & 1) != ((tt_orig[out] >> orig_index) & 1)
-                for out in original.outputs
+                ((tt_locked[out] >> lane) & 1) != golden[idx]
+                for idx, out in enumerate(outputs)
             )
             row.append(err)
         matrix.append(row)

@@ -6,6 +6,16 @@ querying a commercially available chip").  :class:`Oracle` simulates
 that chip from the original netlist while hiding its structure behind
 a query-only interface, and counts queries so experiments can report
 oracle usage.
+
+The original netlist is compiled once at construction; every query —
+single-pattern or bit-parallel — evaluates through the integer-indexed
+:class:`repro.circuit.compiled.CompiledCircuit` core.
+
+Query accounting: every *pattern* applied to the chip counts as one
+query.  ``query`` and ``query_int`` add 1; ``query_batch`` adds
+``len(patterns)``; ``query_vector`` adds ``width``.  A batched call is
+therefore cost-equivalent to the per-pattern loop it replaces — the
+batching buys wall-clock speed, not a lower reported oracle count.
 """
 
 from __future__ import annotations
@@ -13,7 +23,6 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.circuit.netlist import Netlist
-from repro.circuit.simulator import evaluate
 
 
 class Oracle:
@@ -21,32 +30,52 @@ class Oracle:
 
     def __init__(self, original: Netlist):
         self._netlist = original
+        self._compiled = original.compile()
         self.query_count = 0
 
     @property
     def input_names(self) -> list[str]:
-        return list(self._netlist.inputs)
+        return list(self._compiled.inputs)
 
     @property
     def output_names(self) -> list[str]:
-        return list(self._netlist.outputs)
+        return list(self._compiled.outputs)
 
     def query(self, input_bits: Mapping[str, int] | Sequence[int]) -> dict[str, int]:
         """Apply one input pattern; returns output name -> bit."""
         self.query_count += 1
-        return evaluate(self._netlist, input_bits)
+        return self._compiled.eval_single(input_bits)
 
     def query_int(self, pattern: int) -> int:
         """Integer convenience: bit ``j`` of ``pattern`` drives input ``j``.
 
         Returns the outputs packed the same way (output ``j`` = bit ``j``).
         """
-        bits = {
-            net: (pattern >> j) & 1 for j, net in enumerate(self._netlist.inputs)
-        }
-        response = self.query(bits)
-        packed = 0
-        for j, net in enumerate(self._netlist.outputs):
-            if response[net]:
-                packed |= 1 << j
-        return packed
+        self.query_count += 1
+        return self._compiled.evaluate_pattern(pattern)
+
+    def query_batch(self, patterns: Sequence[int]) -> list[int]:
+        """Apply many packed patterns in ONE bit-parallel sweep.
+
+        ``patterns[p]`` is an integer whose bit ``j`` drives input
+        ``j``; the result holds one packed output word per pattern
+        (bit ``k`` = output ``k``, as in :meth:`query_int`).  Counts
+        ``len(patterns)`` queries — see the module docstring.
+        """
+        self.query_count += len(patterns)
+        return self._compiled.eval_batch(patterns)
+
+    def query_vector(
+        self, stimuli: Mapping[str, int], width: int
+    ) -> dict[str, int]:
+        """Bit-parallel query keyed by net name.
+
+        ``stimuli`` maps every primary input to a ``width``-lane word;
+        returns output name -> word.  Counts ``width`` queries.
+        """
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.query_count += width
+        compiled = self._compiled
+        values = compiled.eval_mapping(stimuli, (1 << width) - 1)
+        return {net: values[compiled.slot_of[net]] for net in compiled.outputs}

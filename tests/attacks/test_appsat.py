@@ -58,10 +58,13 @@ class TestAppSat:
         assert rate <= 0.05
 
     def test_timeout_status(self):
+        # A zero budget trips the timeout deterministically; any small
+        # positive budget is flaky now that the batched checkpoint can
+        # settle within milliseconds.
         original = random_netlist(8, 50, seed=84)
         locked = sarlock_lock(original, 8, seed=1)
         result = appsat_attack(
-            locked, Oracle(original), dips_per_round=2, time_limit=0.01
+            locked, Oracle(original), dips_per_round=2, time_limit=0.0
         )
         assert result.status == "timeout"
         assert result.key is None

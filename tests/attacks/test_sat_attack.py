@@ -57,6 +57,38 @@ class TestRecovery:
         assert result.succeeded
 
 
+class TestBenchCircuitParity:
+    """Refactor parity anchors on a bench circuit.
+
+    The recovered key, the DIP count and the oracle accounting are the
+    observable contract of the attack; the SARLock DIP count is exactly
+    ``2^|K| - 1`` regardless of how the miter is encoded, so any drift
+    introduced by the compiled-IR path shows up here immediately.
+    """
+
+    def test_bench_circuit_key_and_dip_count(self):
+        from repro.bench_circuits.iscas85 import iscas85_like
+
+        original = iscas85_like("c432", 0.25)
+        locked = sarlock_lock(original, 5, seed=4)
+        oracle = Oracle(original)
+        result = sat_attack(locked, oracle)
+        assert result.succeeded
+        assert result.key_int == locked.correct_key_int
+        assert result.num_dips == 2**5 - 1
+        assert oracle.query_count == result.num_dips
+        assert locked.verify_key(original, result.key).equivalent
+
+    def test_bench_circuit_xor_lock_equivalent_key(self):
+        from repro.bench_circuits.iscas85 import iscas85_like
+
+        original = iscas85_like("c880", 0.2)
+        locked = xor_lock(original, 6, seed=8)
+        result = sat_attack(locked, Oracle(original))
+        assert result.succeeded
+        assert locked.verify_key(original, result.key).equivalent
+
+
 class TestPinnedAttacks:
     @given(pin_bits=st.integers(0, 3))
     def test_pinned_key_unlocks_subspace(self, pin_bits):

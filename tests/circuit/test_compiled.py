@@ -1,0 +1,210 @@
+"""Compiled circuit IR tests.
+
+Seeded property tests assert compiled-vs-legacy parity on random
+circuits covering every gate family the generator emits (n-ary
+AND/OR/XOR trees, MUX, BUF/NOT chains, CONST gates), plus the compile
+cache's invalidation rules and the content-hash identity used for
+result-cache keys.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.compiled import CompiledCircuit, CompileError
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Netlist
+from repro.circuit.random_circuits import random_netlist
+from repro.circuit.simulator import (
+    evaluate,
+    simulate,
+    simulate_reference,
+    truth_table,
+)
+
+
+class TestParity:
+    @given(
+        seed=st.integers(0, 10_000),
+        width=st.sampled_from([1, 7, 64]),
+        allow_const=st.booleans(),
+    )
+    def test_simulate_matches_reference(self, seed, width, allow_const):
+        netlist = random_netlist(6, 40, seed=seed, allow_const=allow_const)
+        from repro.circuit.simulator import random_patterns
+
+        stimuli = dict(
+            zip(netlist.inputs, random_patterns(len(netlist.inputs), width, seed))
+        )
+        assert simulate(netlist, stimuli, width) == simulate_reference(
+            netlist, stimuli, width
+        )
+
+    @given(seed=st.integers(0, 10_000), allow_const=st.booleans())
+    def test_truth_table_matches_reference(self, seed, allow_const):
+        netlist = random_netlist(5, 30, seed=seed, allow_const=allow_const)
+        reference = simulate_reference(
+            netlist,
+            dict(
+                zip(
+                    netlist.inputs,
+                    __import__(
+                        "repro.circuit.compiled", fromlist=["exhaustive_words"]
+                    ).exhaustive_words(len(netlist.inputs)),
+                )
+            ),
+            width=1 << len(netlist.inputs),
+        )
+        tt = truth_table(netlist)
+        assert tt == {net: reference[net] for net in netlist.outputs}
+
+    @given(seed=st.integers(0, 10_000), pattern=st.integers(0, 63))
+    def test_evaluate_matches_reference(self, seed, pattern):
+        netlist = random_netlist(6, 35, seed=seed)
+        bits = {
+            net: (pattern >> j) & 1 for j, net in enumerate(netlist.inputs)
+        }
+        reference = simulate_reference(netlist, bits, width=1)
+        assert evaluate(netlist, bits) == {
+            net: reference[net] for net in netlist.outputs
+        }
+
+    def test_pinned_constant_inputs(self):
+        """Constant words on inputs flow through like any stimulus."""
+        n = Netlist("pinned")
+        n.add_inputs(["a", "b", "sel"])
+        n.add_gate("m", GateType.MUX, ["sel", "a", "b"])
+        n.add_gate("inv", GateType.NOT, ["m"])
+        n.add_gate("buf", GateType.BUF, ["inv"])
+        n.set_outputs(["buf"])
+        for stim in ({"a": 1, "b": 0, "sel": 0}, {"a": 1, "b": 0, "sel": 1}):
+            assert simulate(n, stim) == simulate_reference(n, stim)
+
+    def test_unary_and_nary_arities(self):
+        """AND/XOR at arity 1 and > 2 lower to the right opcodes."""
+        n = Netlist("arity")
+        n.add_inputs(["a", "b", "c", "d"])
+        n.add_gate("u", GateType.AND, ["a"])  # unary AND == BUF
+        n.add_gate("v", GateType.NAND, ["b"])  # unary NAND == NOT
+        n.add_gate("w", GateType.XOR, ["a", "b", "c", "d"])
+        n.add_gate("x", GateType.NOR, ["u", "v", "w"])
+        n.set_outputs(["u", "v", "w", "x"])
+        for pattern in range(16):
+            bits = {net: (pattern >> j) & 1 for j, net in enumerate(n.inputs)}
+            assert simulate(n, bits) == simulate_reference(n, bits)
+
+
+class TestCompileSeam:
+    def test_compile_is_cached(self, small_circuit):
+        assert small_circuit.compile() is small_circuit.compile()
+
+    def test_add_gate_invalidates(self, small_circuit):
+        first = small_circuit.compile()
+        small_circuit.add_gate("extra", GateType.NOT, [small_circuit.inputs[0]])
+        second = small_circuit.compile()
+        assert second is not first
+        assert "extra" in second.slot_of
+
+    def test_set_outputs_invalidates(self, small_circuit):
+        first = small_circuit.compile()
+        small_circuit.set_outputs(small_circuit.outputs[:1])
+        assert small_circuit.compile() is not first
+
+    def test_explicit_invalidate(self, small_circuit):
+        first = small_circuit.compile()
+        small_circuit.invalidate_compiled()
+        assert small_circuit.compile() is not first
+
+    def test_copy_does_not_share_cache(self, small_circuit):
+        first = small_circuit.compile()
+        dup = small_circuit.copy()
+        assert dup.compile() is not first
+
+    def test_topological_order_reuses_compiled_order(self, small_circuit):
+        compiled = small_circuit.compile()
+        order = small_circuit.topological_order()
+        assert order == list(compiled.gates)
+
+    def test_undriven_fanin_rejected(self):
+        n = Netlist("broken")
+        n.add_input("a")
+        n.gates["g"] = __import__(
+            "repro.circuit.netlist", fromlist=["Gate"]
+        ).Gate("g", GateType.AND, ("a", "ghost"))
+        n.set_outputs(["g"])
+        with pytest.raises(CompileError):
+            CompiledCircuit(n)
+
+    def test_undriven_output_rejected(self):
+        n = Netlist("broken")
+        n.add_input("a")
+        n.set_outputs(["missing"])
+        with pytest.raises(CompileError):
+            CompiledCircuit(n)
+
+
+class TestSlots:
+    def test_inputs_occupy_leading_slots(self, small_circuit):
+        compiled = small_circuit.compile()
+        for j, net in enumerate(compiled.inputs):
+            assert compiled.slot_of[net] == j
+
+    def test_fanins_precede_outputs(self, small_circuit):
+        compiled = small_circuit.compile()
+        for out, fanins in zip(
+            compiled.gate_output_slots, compiled.gate_fanin_slots
+        ):
+            assert all(s < out for s in fanins)
+
+    def test_eval_batch_matches_evaluate_pattern(self, small_circuit):
+        compiled = small_circuit.compile()
+        patterns = list(range(0, 1 << len(compiled.inputs), 3))
+        assert compiled.eval_batch(patterns) == [
+            compiled.evaluate_pattern(p) for p in patterns
+        ]
+
+    def test_eval_batch_empty(self, small_circuit):
+        assert small_circuit.compile().eval_batch([]) == []
+
+    def test_levels_and_fanouts_agree_with_dict_walk(self, small_circuit):
+        compiled = small_circuit.compile()
+        levels = dict(zip(compiled.net_names, compiled.levels()))
+        walk = {net: 0 for net in small_circuit.inputs}
+        for gate in small_circuit.topological_order():
+            walk[gate.output] = 1 + max(
+                (walk[src] for src in gate.inputs), default=0
+            )
+        assert levels == walk
+        readers = compiled.fanout_slots()
+        expected = small_circuit.fanouts()
+        for net, slot in compiled.slot_of.items():
+            assert sorted(compiled.net_names[s] for s in readers[slot]) == sorted(
+                expected[net]
+            )
+
+
+class TestContentHash:
+    def test_stable_and_equal_for_same_structure(self):
+        a = random_netlist(5, 25, seed=9).compile()
+        b = random_netlist(5, 25, seed=9).compile()
+        assert a.content_hash() == b.content_hash()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_differs_for_different_structure(self):
+        a = random_netlist(5, 25, seed=9).compile()
+        b = random_netlist(5, 25, seed=10).compile()
+        assert a.content_hash() != b.content_hash()
+        assert a != b
+
+    def test_internal_names_do_not_matter(self):
+        """Renaming internal nets preserves the interned structure."""
+        n = random_netlist(4, 20, seed=3)
+        renamed = n.renamed("zz_", keep_inputs=n.inputs)
+        # Restore the original interface names on the outputs.
+        from repro.circuit.netlist import Gate
+
+        for orig, pref in zip(n.outputs, renamed.outputs):
+            renamed.gates[orig] = Gate(orig, GateType.BUF, (pref,))
+        renamed.set_outputs(list(n.outputs))
+        # Not identical structure (extra BUFs), but hashing is stable:
+        assert renamed.compile().content_hash() == renamed.copy().compile().content_hash()

@@ -35,3 +35,42 @@ def test_interface_exposure(small_circuit):
     oracle = Oracle(small_circuit)
     assert oracle.input_names == small_circuit.inputs
     assert oracle.output_names == small_circuit.outputs
+
+
+def test_query_batch_matches_per_pattern_queries(small_circuit):
+    batched = Oracle(small_circuit)
+    serial = Oracle(small_circuit)
+    patterns = [0, 1, 0b101010, (1 << len(small_circuit.inputs)) - 1, 7]
+    assert batched.query_batch(patterns) == [
+        serial.query_int(p) for p in patterns
+    ]
+
+
+def test_query_batch_counts_one_query_per_pattern(small_circuit):
+    """Batching buys speed, not a lower oracle count: W patterns in one
+    sweep are still W queries."""
+    oracle = Oracle(small_circuit)
+    oracle.query_batch([0, 1, 2, 3])
+    assert oracle.query_count == 4
+    oracle.query_batch([])
+    assert oracle.query_count == 4
+    oracle.query_int(5)
+    assert oracle.query_count == 5
+
+
+def test_query_vector_matches_simulation(small_circuit):
+    from repro.circuit.simulator import random_patterns, simulate
+
+    width = 16
+    stimuli = dict(
+        zip(
+            small_circuit.inputs,
+            random_patterns(len(small_circuit.inputs), width, seed=7),
+        )
+    )
+    oracle = Oracle(small_circuit)
+    response = oracle.query_vector(stimuli, width)
+    values = simulate(small_circuit, stimuli, width=width)
+    assert response == {net: values[net] for net in small_circuit.outputs}
+    assert oracle.query_count == width
+
