@@ -5,7 +5,8 @@ expensive.  Splitting the input space shrinks the conditional netlists
 (the decoders collapse once their select inputs are pinned), so each
 sub-task is far cheaper than the monolithic baseline.
 
-Run:  python examples/attack_lut_insertion.py [circuit] [scale]
+Run:  python examples/attack_lut_insertion.py [circuit] [scale] [spec]
+      (spec: tiny | small | paper, default paper)
 """
 
 import sys
@@ -18,9 +19,10 @@ from repro.locking import LutModuleSpec, lut_lock
 def main() -> None:
     circuit = sys.argv[1] if len(sys.argv) > 1 else "c6288"
     scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.4
+    spec_name = sys.argv[3] if len(sys.argv) > 3 else "paper"
 
     original = iscas85_like(circuit, scale=scale)
-    spec = LutModuleSpec.paper_scale()
+    spec = LutModuleSpec.by_name(spec_name)
     locked = lut_lock(original, spec, seed=1)
     print(
         f"{circuit}-class ({original.num_gates} gates) + 2-stage LUT module "

@@ -6,7 +6,7 @@ input halves the reachable point-function space, so #DIP — and with it
 the attack time — drops by 2x per unit of splitting effort, and the
 2^N sub-tasks run in parallel.
 
-Run:  python examples/attack_sarlock.py [key_size] [scale]
+Run:  python examples/attack_sarlock.py [key_size] [scale] [max_effort]
 """
 
 import sys
@@ -19,13 +19,14 @@ from repro.locking import sarlock_lock
 def main() -> None:
     key_size = int(sys.argv[1]) if len(sys.argv) > 1 else 8
     scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    max_effort = int(sys.argv[3]) if len(sys.argv) > 3 else 4
 
     original = iscas85_like("c7552", scale=scale)
     locked = sarlock_lock(original, key_size=key_size, seed=0)
     print(f"c7552-class ({original.num_gates} gates) + SARLock |K|={key_size}")
     print(f"{'N':>3} {'#DIP/task':>24} {'max task':>9} {'composed CEC':>12}")
 
-    for effort in range(5):
+    for effort in range(max_effort + 1):
         attack = multikey_attack(locked, original, effort=effort)
         equivalent = (
             bool(

@@ -12,8 +12,10 @@ inputs.  The two levers the attack pulls are measured directly:
 It also shows what the *approximate* attacker (AppSAT) sees, since a
 defense that only stops exact attacks is not much of a defense.
 
-Run:  python examples/countermeasure_study.py
+Run:  python examples/countermeasure_study.py [scale] [key_size]
 """
+
+import sys
 
 from repro.attacks import appsat_attack
 from repro.bench_circuits import iscas85_like
@@ -23,8 +25,9 @@ from repro.oracle import Oracle
 
 
 def main() -> None:
-    original = iscas85_like("c1908", scale=0.3)
-    key_size = 8
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    key_size = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    original = iscas85_like("c1908", scale=scale)
     schemes = {
         "plain SARLock": sarlock_lock(original, key_size, seed=1),
         "entangled SARLock": entangled_sarlock(original, key_size, seed=1),

@@ -10,8 +10,11 @@ locking, SARLock, Anti-SAT and LUT insertion on:
 * baseline SAT-attack cost,
 * multi-key attack cost at N=3 — the paper's threat model.
 
-Run:  python examples/defense_evaluation.py
+Run:  python examples/defense_evaluation.py [scale] [samples] [lut_spec]
+      (lut_spec: tiny | small | paper, default paper)
 """
+
+import sys
 
 from repro.bench_circuits import iscas85_like
 from repro.core import multikey_attack
@@ -27,7 +30,12 @@ from repro.synth import estimate_area
 
 
 def main() -> None:
-    original = iscas85_like("c880", scale=0.3)
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    samples = int(sys.argv[2]) if len(sys.argv) > 2 else 4096
+    lut_spec_name = sys.argv[3] if len(sys.argv) > 3 else "paper"
+    lut_spec = LutModuleSpec.by_name(lut_spec_name)
+
+    original = iscas85_like("c880", scale=scale)
     base_area = estimate_area(original)
     print(f"victim: c880-class, {original.num_gates} gates, "
           f"{base_area:.1f} um^2\n")
@@ -36,7 +44,7 @@ def main() -> None:
         "xor (|K|=16)": xor_lock(original, 16, seed=3),
         "sarlock (|K|=8)": sarlock_lock(original, 8, seed=3),
         "antisat (n=6)": antisat_lock(original, 6, seed=3),
-        "lut (160b)": lut_lock(original, LutModuleSpec.paper_scale(), seed=3),
+        f"lut ({lut_spec.key_bits}b)": lut_lock(original, lut_spec, seed=3),
     }
 
     header = (
@@ -49,7 +57,7 @@ def main() -> None:
         # Corruption of one representative wrong key (flip first bit).
         wrong = locked.correct_key_int ^ 1
         corruption = error_rate(
-            locked, original, wrong, num_samples=4096, seed=1
+            locked, original, wrong, num_samples=samples, seed=1
         )
         baseline = multikey_attack(
             locked, original, effort=0, time_limit_per_task=120

@@ -1,52 +1,81 @@
-"""Parallel scaling: the multi-core story of the paper.
+"""Engine comparison: the reference arm versus the sharded engine.
 
-The 2^N sub-tasks are independent, so wall-clock time approaches the
-slowest sub-task as cores are added ("a capability readily exploitable
-by resource-rich adversaries in the supply chain").  This example
-measures sequential vs process-pool execution at several efforts.
+Algorithm 1's ``2^N`` sub-spaces can be attacked two ways:
 
-Run:  python examples/multikey_parallel.py [circuit] [scale]
+* the **reference** arm synthesizes a conditional netlist and
+  cold-starts a SAT attack per sub-space (the paper, literally), and
+* the **sharded** engine encodes the miter once and runs the
+  sub-spaces as assumption-pinned shards against warm solver state.
+
+This example runs both side by side at several splitting efforts,
+prints per-shard timings, and finishes with the sharded engine's
+process-pool fan-out (the paper's "resource-rich adversary" scenario:
+wall-clock approaches the slowest shard as cores are added).
+
+Run:  python examples/multikey_parallel.py [circuit] [scale] [max_effort]
 """
 
 import multiprocessing
 import sys
 
 from repro.bench_circuits import iscas85_like
-from repro.core import multikey_attack
+from repro.core import multikey_attack, sharded_multikey_attack
 from repro.locking import LutModuleSpec, lut_lock
 
 
 def main() -> None:
     circuit = sys.argv[1] if len(sys.argv) > 1 else "c880"
     scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    max_effort = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+    if max_effort < 1:
+        raise SystemExit("max_effort must be at least 1")
 
     original = iscas85_like(circuit, scale=scale)
     locked = lut_lock(original, LutModuleSpec.paper_scale(), seed=1)
     cores = multiprocessing.cpu_count()
     print(
         f"{circuit}-class, {locked.key_size}-bit LUT key, "
-        f"{cores} cores available"
-    )
-    print(
-        f"{'N':>2} {'tasks':>5} {'sum(tasks)':>10} {'max task':>9} "
-        f"{'wall seq':>9} {'wall par':>9} {'speedup':>8}"
+        f"{cores} cores available\n"
     )
 
-    for effort in (1, 2, 3, 4):
-        sequential = multikey_attack(
-            locked, original, effort=effort, parallel=False
-        )
-        parallel = multikey_attack(
-            locked, original, effort=effort, parallel=True
-        )
-        total = sum(t.total_seconds for t in sequential.subtasks)
-        speedup = sequential.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    print("engine comparison (serial):")
+    print(
+        f"{'N':>2} {'shards':>6} {'reference':>10} {'sharded':>8} "
+        f"{'speedup':>8} {'#DIP':>6}"
+    )
+    last = None
+    for effort in range(1, max_effort + 1):
+        reference = multikey_attack(locked, original, effort=effort)
+        sharded = sharded_multikey_attack(locked, original, effort=effort)
+        last = sharded
         print(
-            f"{effort:>2} {1 << effort:>5} {total:>9.2f}s "
-            f"{parallel.max_subtask_seconds:>8.2f}s "
-            f"{sequential.wall_seconds:>8.2f}s "
-            f"{parallel.wall_seconds:>8.2f}s {speedup:>7.2f}x"
+            f"{effort:>2} {1 << effort:>6} {reference.wall_seconds:>9.2f}s "
+            f"{sharded.wall_seconds:>7.2f}s "
+            f"{reference.wall_seconds / max(sharded.wall_seconds, 1e-9):>7.2f}x "
+            f"{sum(sharded.dips_per_task):>6}"
         )
+
+    print(
+        f"\nper-shard timings at N={last.effort} "
+        f"(sharded; one-time encode {last.encode_seconds * 1e3:.1f} ms):"
+    )
+    for task in last.subtasks:
+        stats = task.solver_stats
+        print(
+            f"  shard {task.index:>2} {task.assignment} "
+            f"#DIP={task.num_dips:>3} conflicts={stats.get('conflicts', 0):>4} "
+            f"t={task.elapsed_seconds * 1e3:>7.1f} ms"
+        )
+
+    parallel = sharded_multikey_attack(
+        locked, original, effort=last.effort, parallel=True
+    )
+    print(
+        f"\nsharded fan-out over {cores} worker(s): "
+        f"wall {parallel.wall_seconds:.2f}s vs serial "
+        f"{last.wall_seconds:.2f}s "
+        f"(slowest shard {parallel.max_subtask_seconds:.2f}s)"
+    )
 
 
 if __name__ == "__main__":

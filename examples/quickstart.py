@@ -9,8 +9,10 @@ Walks the paper's whole story on a small circuit in under a minute:
 5. compose the four recovered keys through a MUX network (Fig. 1b)
    and prove the result equivalent to the original design.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [scale] [key_size]
 """
+
+import sys
 
 from repro.bench_circuits import iscas85_like
 from repro.core import compose_multikey_netlist, multikey_attack, verify_composition
@@ -20,12 +22,15 @@ from repro.attacks import sat_attack
 
 
 def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    key_size = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
     # 1. The victim design: a scaled-down c7552-class adder/comparator.
-    original = iscas85_like("c7552", scale=0.2)
+    original = iscas85_like("c7552", scale=scale)
     print(f"original circuit : {original}")
 
-    # 2. Lock it with SARLock (8 key bits).
-    locked = sarlock_lock(original, key_size=8, seed=7)
+    # 2. Lock it with SARLock (default: 8 key bits).
+    locked = sarlock_lock(original, key_size=key_size, seed=7)
     print(f"locked circuit   : {locked}")
     print(f"correct key      : {locked.correct_key_int:#010b}")
 

@@ -10,6 +10,23 @@ When the miter becomes UNSAT, any key consistent with the recorded
 I/O pairs is functionally correct on the whole (possibly pinned) input
 space.
 
+This module reproduces the "Baseline [5]" column of the paper's
+Table 2 and the ``N = 0`` row of Table 1; :mod:`repro.core.multikey`
+invokes it once per sub-space for the multi-key attack itself.
+
+The implementation is split into two reusable pieces:
+
+* :func:`build_miter_encoding` encodes the locked circuit's miter once
+  into an incremental solver and returns a :class:`MiterEncoding`
+  handle (slot-indexed solver variables, key halves, activation
+  literal).
+* :func:`run_dip_loop` drives the DIP refinement loop against a
+  pre-built encoding.  Sub-space restrictions arrive either as unit
+  clauses (``pin`` — permanent, the classic single-attack form) or as
+  per-call *assumptions* plus a *guard* literal for the learned I/O
+  constraints — which is how :mod:`repro.core.sharded` runs ``2^N``
+  sub-space shards against one warm solver without re-encoding.
+
 Implementation notes (all standard, all load-bearing for speed):
 
 * The locked netlist is compiled once (``netlist.compile()``); the DIP
@@ -32,9 +49,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.circuit.cnf import encode_gate
+from repro.circuit.compiled import CompiledCircuit
+from repro.circuit.gates import GateType
 from repro.circuit.simulator import random_stimuli_words
 from repro.locking.base import LockedCircuit, key_to_int
 from repro.oracle.oracle import Oracle
@@ -52,7 +71,23 @@ class AttackIteration:
 
 @dataclass
 class SatAttackResult:
-    """Outcome of a (possibly pinned) SAT attack."""
+    """Outcome of a (possibly pinned) SAT attack.
+
+    Attributes:
+        key: The recovered key (``None`` on a budget stop without
+            ``extract_on_budget``).
+        num_dips: DIP iterations executed.
+        elapsed_seconds: Wall-clock time of this attack/shard.
+        status: ``"ok"`` | ``"timeout"`` | ``"dip_limit"``.
+        oracle_queries: Oracle queries *this attack* issued (a delta,
+            so a shared oracle reports per-shard counts correctly).
+        pinned: The sub-space restriction the attack ran under.
+        iterations: Per-DIP timing when ``record_iterations`` was set.
+        solver_stats: Solver counter deltas for this attack (see
+            :meth:`repro.sat.solver.SolverStats.as_dict`).
+        key_order: Key port names, fixing the bit order of
+            :attr:`key_bits` / :attr:`key_int`.
+    """
 
     key: dict[str, bool] | None
     num_dips: int
@@ -66,58 +101,79 @@ class SatAttackResult:
 
     @property
     def succeeded(self) -> bool:
+        """True when the loop ran to completion and produced a key."""
         return self.status == "ok" and self.key is not None
 
     @property
     def key_bits(self) -> tuple[int, ...] | None:
+        """Key as a bit tuple in :attr:`key_order` (None without a key)."""
         if self.key is None:
             return None
         return tuple(int(self.key[net]) for net in self.key_order)
 
     @property
     def key_int(self) -> int | None:
+        """Key packed as an integer (bit ``j`` = key port ``j``)."""
         bits = self.key_bits
         return None if bits is None else key_to_int(bits)
 
 
-def sat_attack(
-    locked: LockedCircuit,
-    oracle: Oracle,
-    pin: Mapping[str, bool] | None = None,
-    time_limit: float | None = None,
-    max_dips: int | None = None,
-    record_iterations: bool = True,
-    extract_on_budget: bool = False,
-) -> SatAttackResult:
-    """Run the SAT attack on ``locked`` against ``oracle``.
+@dataclass
+class MiterEncoding:
+    """A locked circuit's miter, encoded once into an incremental solver.
+
+    Built by :func:`build_miter_encoding`; consumed by
+    :func:`run_dip_loop` (possibly many times, with different
+    assumptions — that reuse is the sharded engine's whole point).
+
+    Attributes:
+        solver: The incremental CDCL solver holding the encoding.
+        compiled: The compiled locked circuit the encoding came from.
+        key_inputs: Key port names (the locked circuit's key order).
+        input_vars: Primary-input net -> solver variable (key ports
+            excluded; both miter halves share these).
+        key1 / key2: Slot-indexed variables of the two key vectors.
+        cone_idx: Indices of key-controlled gates in compiled order.
+        controlled_pos: ``(name, slot)`` of key-controlled outputs.
+        act: Activation literal for the miter difference clause;
+            assume ``act`` while searching DIPs, ``-act`` to extract.
+        true_var: Anchor variable fixed to true (constant substitution).
+        base_vars: Variable count right after base encoding — the
+            soundness ceiling for :meth:`Solver.export_learnts`.
+    """
+
+    solver: Solver
+    compiled: CompiledCircuit
+    key_inputs: list[str]
+    input_vars: dict[str, int]
+    key1: list[int]
+    key2: list[int]
+    cone_idx: list[int]
+    controlled_pos: list[tuple[str, int]]
+    act: int
+    true_var: int
+    base_vars: int
+
+
+def build_miter_encoding(
+    locked: LockedCircuit, solver: Solver | None = None
+) -> MiterEncoding:
+    """Encode ``locked``'s key-comparison miter into ``solver`` once.
 
     Args:
         locked: The reverse-engineered locked netlist with key ports.
-        oracle: Black-box access to the original function.
-        pin: Optional constants on primary inputs — this restricts the
-            attack to a sub-space and is exactly how the multi-key
-            attack invokes it (Algorithm 1, line 5).
-        time_limit: Wall-clock budget in seconds (None = unlimited).
-        max_dips: Iteration cap (None = unlimited).
-        record_iterations: Keep per-DIP timing (cheap; disable for
-            massive sweeps).
-        extract_on_budget: When a budget stops the DIP loop early,
-            still extract a key consistent with the DIPs seen so far
-            (an *approximate* key — AppSAT builds on this).
+        solver: Incremental solver to encode into (fresh by default).
 
-    Returns the recovered key — correct on every input consistent with
-    ``pin`` — plus run statistics.
+    Returns a :class:`MiterEncoding` whose variable numbering is a
+    deterministic function of the compiled circuit — two processes
+    encoding the same circuit agree on every variable id, which is what
+    makes cross-process learned-clause import sound.
     """
-    start = time.perf_counter()
-    pin = dict(pin or {})
     netlist = locked.netlist
     compiled = netlist.compile()
     slot_of = compiled.slot_of
     num_slots = compiled.num_slots
     key_set = set(locked.key_inputs)
-    for net in pin:
-        if net not in netlist.inputs or net in key_set:
-            raise ValueError(f"pinned net {net!r} is not a primary input")
 
     key_slots = [slot_of[net] for net in locked.key_inputs]
     controlled = compiled.tainted_slots(key_slots)
@@ -127,7 +183,7 @@ def sat_attack(
     shared_idx = [i for i, out in enumerate(gate_out) if not controlled[out]]
     cone_idx = [i for i, out in enumerate(gate_out) if controlled[out]]
 
-    solver = Solver()
+    solver = solver or Solver()
     # Slot-indexed solver variables (0 = no variable for that slot).
     shared_vars = [0] * num_slots
     input_vars: dict[str, int] = {}
@@ -186,14 +242,166 @@ def sat_attack(
         diff_vars.append(diff)
     solver.add_clause([-act] + diff_vars)
 
-    for net, value in pin.items():
-        solver.add_clause([input_vars[net] if value else -input_vars[net]])
-
     # Anchor variable for substituting simulated constants per DIP.
     true_var = solver.new_var()
     solver.add_clause([true_var])
 
+    return MiterEncoding(
+        solver=solver,
+        compiled=compiled,
+        key_inputs=list(locked.key_inputs),
+        input_vars=input_vars,
+        key1=key1,
+        key2=key2,
+        cone_idx=cone_idx,
+        controlled_pos=controlled_pos,
+        act=act,
+        true_var=true_var,
+        base_vars=solver.num_vars,
+    )
+
+
+def _encode_copy_gate(
+    solver: Solver, gtype: GateType, ins: list[int], true_var: int
+) -> int:
+    """Encode one gate of a per-DIP constraint copy, folding constants.
+
+    ``ins`` are DIMACS literals where ``±true_var`` plays constant
+    true/false.  Gates whose output is forced by constant inputs fold
+    to a constant literal, single-survivor gates alias their input —
+    only genuinely key-dependent gates allocate a variable and clauses.
+    On SARLock/LUT cones this collapses most of each copy (comparator
+    XNORs against pinned bits become key literals, MUX trees with
+    constant selects become wires), which keeps the per-DIP clause
+    cost proportional to the *live* cone, not the structural one.
+    """
+    TRUE, FALSE = true_var, -true_var
+
+    def is_const(lit: int) -> bool:
+        return lit == TRUE or lit == FALSE
+
+    if gtype is GateType.CONST0:
+        return FALSE
+    if gtype is GateType.CONST1:
+        return TRUE
+    if gtype is GateType.BUF:
+        return ins[0]
+    if gtype is GateType.NOT:
+        return -ins[0]
+    if gtype is GateType.MUX:
+        sel, d1, d0 = ins
+        if sel == TRUE:
+            return d1
+        if sel == FALSE:
+            return d0
+        if d1 == d0:
+            return d1
+    if gtype in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+        conjunctive = gtype in (GateType.AND, GateType.NAND)
+        inverted = gtype in (GateType.NAND, GateType.NOR)
+        killer = FALSE if conjunctive else TRUE  # absorbing constant
+        live = []
+        for lit in ins:
+            if lit == killer:
+                return -killer if inverted else killer
+            if not is_const(lit):
+                live.append(lit)
+        if not live:  # every input was the identity constant
+            return killer if inverted else -killer
+        if len(live) == 1:
+            return -live[0] if inverted else live[0]
+        ins = live
+        gtype = GateType.AND if conjunctive else GateType.OR
+        out = solver.new_var()
+        encode_gate(solver, gtype, out, ins)
+        return -out if inverted else out
+    if gtype in (GateType.XOR, GateType.XNOR):
+        parity = gtype is GateType.XNOR
+        live = []
+        for lit in ins:
+            if lit == TRUE:
+                parity = not parity
+            elif lit == FALSE:
+                pass
+            else:
+                live.append(lit)
+        if not live:
+            return TRUE if parity else FALSE
+        if len(live) == 1:
+            return -live[0] if parity else live[0]
+        out = solver.new_var()
+        encode_gate(solver, GateType.XNOR if parity else GateType.XOR, out, live)
+        return out
+    out = solver.new_var()
+    encode_gate(solver, gtype, out, ins)
+    return out
+
+
+def run_dip_loop(
+    enc: MiterEncoding,
+    oracle: Oracle,
+    pin: Mapping[str, bool] | None = None,
+    assume: Sequence[int] = (),
+    guard: int | None = None,
+    time_limit: float | None = None,
+    max_dips: int | None = None,
+    record_iterations: bool = True,
+    extract_on_budget: bool = False,
+    start: float | None = None,
+) -> SatAttackResult:
+    """Drive the DIP refinement loop against a pre-built miter encoding.
+
+    Args:
+        enc: Encoding from :func:`build_miter_encoding`.  May carry
+            state from earlier calls — learned clauses are an asset,
+            and guarded constraints from other sub-spaces are inert.
+        oracle: Black-box access to the original function.
+        pin: The sub-space restriction, for reporting and for the
+            per-DIP simulation.  The *solver-side* restriction must be
+            supplied separately: either unit clauses added by the
+            caller (classic :func:`sat_attack`) or ``assume`` literals.
+        assume: Extra assumption literals applied to every solver call
+            (the sharded engine pins splitting inputs here).
+        guard: When set, every learned I/O constraint is guarded by
+            this literal (clauses get ``-guard``) and ``guard`` joins
+            the assumptions — so constraints from this sub-space do not
+            leak into other shards sharing the solver.
+        time_limit: Wall-clock budget in seconds (None = unlimited).
+        max_dips: Iteration cap (None = unlimited).
+        record_iterations: Keep per-DIP timing (cheap; disable for
+            massive sweeps).
+        extract_on_budget: When a budget stops the DIP loop early,
+            still extract a key consistent with the DIPs seen so far
+            (an *approximate* key — AppSAT builds on this).
+        start: Clock origin for ``elapsed_seconds``/``time_limit``
+            (defaults to now; :func:`sat_attack` passes its own start
+            so encoding time counts against the budget).
+
+    Returns the recovered key — correct on every input consistent with
+    the sub-space restriction — plus per-call statistics (oracle
+    queries and solver counters are deltas, so shared oracles/solvers
+    report per-shard numbers).
+    """
+    if start is None:
+        start = time.perf_counter()
+    pin = dict(pin or {})
+    solver = enc.solver
+    compiled = enc.compiled
+    num_slots = compiled.num_slots
+    input_vars = enc.input_vars
+    cone_idx = enc.cone_idx
+    controlled_pos = enc.controlled_pos
+    gate_types = compiled.gate_types
+    gate_out = compiled.gate_output_slots
+    gate_fanins = compiled.gate_fanin_slots
+    true_var = enc.true_var
     input_names = compiled.inputs
+
+    base_assume = list(assume)
+    if guard is not None:
+        base_assume.append(guard)
+    stats_before = solver.stats.as_dict()
+    queries_before = oracle.query_count
 
     iterations: list[AttackIteration] = []
     num_dips = 0
@@ -208,7 +416,7 @@ def sat_attack(
             break
         iter_start = time.perf_counter()
         conflicts_before = solver.stats.conflicts
-        if not solver.solve(assumptions=[act]):
+        if not solver.solve(assumptions=[enc.act] + base_assume):
             break  # no DIP left: key space is functionally collapsed
 
         dip = {
@@ -222,22 +430,26 @@ def sat_attack(
         words = [dip.get(name, 0) for name in input_names]
         values = compiled.eval_words(words, 1)
 
-        for key_vars in (key1, key2):
-            copy_vars = [0] * num_slots
+        for key_vars in (enc.key1, enc.key2):
+            copy_lits = [0] * num_slots
             for i in cone_idx:
                 ins = []
                 for s in gate_fanins[i]:
-                    var = copy_vars[s] or key_vars[s]
-                    if var:
-                        ins.append(var)
+                    lit = copy_lits[s] or key_vars[s]
+                    if lit:
+                        ins.append(lit)
                     else:  # key-independent: substitute the simulated constant
                         ins.append(true_var if values[s] else -true_var)
-                out = solver.new_var()
-                encode_gate(solver, gate_types[i], out, ins)
-                copy_vars[gate_out[i]] = out
+                copy_lits[gate_out[i]] = _encode_copy_gate(
+                    solver, gate_types[i], ins, true_var
+                )
             for po, po_slot in controlled_pos:
-                var = copy_vars[po_slot]
-                solver.add_clause([var if response[po] else -var])
+                out = copy_lits[po_slot]
+                lit = out if response[po] else -out
+                if guard is None:
+                    solver.add_clause([lit])
+                else:
+                    solver.add_clause([-guard, lit])
 
         if record_iterations:
             iterations.append(
@@ -252,24 +464,85 @@ def sat_attack(
     if status == "ok" or extract_on_budget:
         # Any key satisfying the accumulated I/O constraints works
         # (and is exact when the DIP loop ran to completion).
-        if solver.solve(assumptions=[-act]):
+        if solver.solve(assumptions=[-enc.act] + base_assume):
+            slot_of = compiled.slot_of
             key = {
-                net: bool(solver.model_value(key1[slot_of[net]]))
-                for net in locked.key_inputs
+                net: bool(solver.model_value(enc.key1[slot_of[net]]))
+                for net in enc.key_inputs
             }
         elif status == "ok":  # pragma: no cover - k* satisfies everything
             status = "no_key"
+
+    stats_after = solver.stats.as_dict()
+    delta = {
+        name: stats_after[name] - stats_before[name] for name in stats_after
+    }
+    # The decision-level high-water mark is not a counter; report the
+    # absolute maximum observed so far instead of a meaningless delta.
+    delta["max_decision_level"] = stats_after["max_decision_level"]
 
     return SatAttackResult(
         key=key,
         num_dips=num_dips,
         elapsed_seconds=time.perf_counter() - start,
         status=status,
-        oracle_queries=oracle.query_count,
+        oracle_queries=oracle.query_count - queries_before,
         pinned=pin,
         iterations=iterations,
-        solver_stats=solver.stats.as_dict(),
-        key_order=list(locked.key_inputs),
+        solver_stats=delta,
+        key_order=list(enc.key_inputs),
+    )
+
+
+def sat_attack(
+    locked: LockedCircuit,
+    oracle: Oracle,
+    pin: Mapping[str, bool] | None = None,
+    time_limit: float | None = None,
+    max_dips: int | None = None,
+    record_iterations: bool = True,
+    extract_on_budget: bool = False,
+) -> SatAttackResult:
+    """Run the SAT attack on ``locked`` against ``oracle``.
+
+    Args:
+        locked: The reverse-engineered locked netlist with key ports.
+        oracle: Black-box access to the original function.
+        pin: Optional constants on primary inputs — this restricts the
+            attack to a sub-space and is exactly how the multi-key
+            attack invokes it (Algorithm 1, line 5).
+        time_limit: Wall-clock budget in seconds (None = unlimited).
+        max_dips: Iteration cap (None = unlimited).
+        record_iterations: Keep per-DIP timing (cheap; disable for
+            massive sweeps).
+        extract_on_budget: When a budget stops the DIP loop early,
+            still extract a key consistent with the DIPs seen so far
+            (an *approximate* key — AppSAT builds on this).
+
+    Returns the recovered key — correct on every input consistent with
+    ``pin`` — plus run statistics.
+    """
+    start = time.perf_counter()
+    pin = dict(pin or {})
+    key_set = set(locked.key_inputs)
+    for net in pin:
+        if net not in locked.netlist.inputs or net in key_set:
+            raise ValueError(f"pinned net {net!r} is not a primary input")
+
+    enc = build_miter_encoding(locked)
+    for net, value in pin.items():
+        var = enc.input_vars[net]
+        enc.solver.add_clause([var if value else -var])
+
+    return run_dip_loop(
+        enc,
+        oracle,
+        pin=pin,
+        time_limit=time_limit,
+        max_dips=max_dips,
+        record_iterations=record_iterations,
+        extract_on_budget=extract_on_budget,
+        start=start,
     )
 
 

@@ -44,6 +44,7 @@ class CompiledEncoding:
         return self.slot_vars[self.compiled.slot_of[net]]
 
     def lit(self, net: str, value: bool = True) -> int:
+        """DIMACS literal asserting ``net == value``."""
         var = self.var(net)
         return var if value else -var
 

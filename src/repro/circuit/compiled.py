@@ -277,6 +277,22 @@ class CompiledCircuit:
 
         ``input_words`` aligns with :attr:`inputs`; ``mask`` has a 1 in
         every active lane.  Returns the value of every slot.
+
+        Each bit lane is an independent input pattern, so one sweep
+        evaluates up to ``mask.bit_length()`` patterns::
+
+            >>> from repro.circuit.netlist import Netlist
+            >>> from repro.circuit.gates import GateType
+            >>> netlist = Netlist("toy")
+            >>> _ = netlist.add_input("a")
+            >>> _ = netlist.add_input("b")
+            >>> _ = netlist.add_gate("x", GateType.XOR, ["a", "b"])
+            >>> netlist.set_outputs(["x"])
+            >>> compiled = netlist.compile()
+            >>> # Four lanes: a = 0,1,0,1 and b = 0,0,1,1 (LSB first).
+            >>> values = compiled.eval_words([0b1010, 0b1100], 0b1111)
+            >>> bin(values[compiled.slot_of["x"]])
+            '0b110'
         """
         values = [0] * self.num_slots
         self._eval_into(values, input_words, mask)

@@ -69,6 +69,7 @@ class Netlist:
     # Construction
     # ------------------------------------------------------------------
     def add_input(self, net: str) -> str:
+        """Declare ``net`` as a primary input; returns the net name."""
         if net in self.gates:
             raise NetlistError(f"net {net!r} already driven by a gate")
         if net in self.inputs:
@@ -78,6 +79,7 @@ class Netlist:
         return net
 
     def add_inputs(self, nets: Iterable[str]) -> list[str]:
+        """Declare several primary inputs; returns the net names."""
         return [self.add_input(net) for net in nets]
 
     def add_gate(self, output: str, gtype: GateType, inputs: Sequence[str]) -> str:
@@ -91,10 +93,12 @@ class Netlist:
         return output
 
     def set_outputs(self, nets: Iterable[str]) -> None:
+        """Replace the primary-output list with ``nets`` (in order)."""
         self._compiled = None
         self.outputs = list(nets)
 
     def add_output(self, net: str) -> str:
+        """Append ``net`` to the primary outputs; returns the net name."""
         self._compiled = None
         self.outputs.append(net)
         return net
@@ -111,6 +115,7 @@ class Netlist:
         return list(self.inputs) + list(self.gates)
 
     def is_driven(self, net: str) -> bool:
+        """True when ``net`` is a primary input or some gate's output."""
         return net in self.gates or net in self.inputs
 
     def driver(self, net: str) -> Gate | None:
@@ -126,6 +131,7 @@ class Netlist:
         return result
 
     def gate_type_histogram(self) -> dict[str, int]:
+        """Count gates per type name (e.g. ``{"AND": 12, "NOT": 3}``)."""
         histogram: dict[str, int] = {}
         for gate in self.gates.values():
             histogram[gate.gtype.value] = histogram.get(gate.gtype.value, 0) + 1
@@ -252,6 +258,7 @@ class Netlist:
     # Transformation
     # ------------------------------------------------------------------
     def copy(self, name: str | None = None) -> "Netlist":
+        """Shallow structural copy (gates are immutable, so this is safe)."""
         dup = Netlist(
             name=name or self.name,
             inputs=list(self.inputs),

@@ -79,5 +79,6 @@ def format_verilog(netlist: Netlist, module_name: str | None = None) -> str:
 def write_verilog_file(
     netlist: Netlist, path: str, module_name: str | None = None
 ) -> None:
+    """Write :func:`format_verilog` output for ``netlist`` to ``path``."""
     with open(path, "w") as handle:
         handle.write(format_verilog(netlist, module_name))

@@ -7,8 +7,13 @@ Subcommands map one-to-one onto the library's experiment runners::
     repro-lock table2 --scale 0.4 --time-limit 120 --jobs 8
     repro-lock defense --circuit c1908 --key-size 4 -N 2
     repro-lock attack --circuit c6288 --scheme sarlock --key-size 8 -N 2
+    repro-lock attack --engine reference ...   # literal Algorithm 1 arm
     repro-lock bench --circuit c7552 --scale 0.3 --out c7552.bench
     repro-lock cache info
+
+``attack``/``table1``/``table2`` pick the multi-key engine with
+``--engine {sharded,reference}`` (default: the shared-encoding sharded
+engine; ``reference`` is the per-sub-space synthesis arm).
 
 Experiment subcommands share the runner flags: ``--jobs`` fans rows
 out over a process pool, ``--cache-dir`` relocates the on-disk result
@@ -86,6 +91,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         time_limit_per_task=args.time_limit,
         parallel=args.parallel,
         runner=_make_runner(args),
+        engine=args.engine,
     )
     print(result.format())
     return 0
@@ -98,11 +104,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     circuits = (
         tuple(args.circuits.split(",")) if args.circuits else TABLE2_CIRCUITS
     )
-    spec = {
-        "tiny": LutModuleSpec.tiny,
-        "small": LutModuleSpec.small,
-        "paper": LutModuleSpec.paper_scale,
-    }[args.spec]()
+    spec = LutModuleSpec.by_name(args.spec)
     result = run_table2(
         circuits=circuits,
         scale=args.scale,
@@ -111,6 +113,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         parallel=not args.sequential,
         verify=not args.no_verify,
         runner=_make_runner(args),
+        engine=args.engine,
     )
     print(result.format())
     return 0
@@ -159,7 +162,24 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         locked = xor_lock(original, args.key_size, seed=args.seed)
     else:
         locked = lut_lock(original, LutModuleSpec.small(), seed=args.seed)
+    if args.sharded and args.engine == "reference":
+        raise SystemExit(
+            "repro-lock: error: --sharded contradicts --engine reference"
+        )
+    engine = "sharded" if args.sharded else args.engine
     print(f"locked: {locked}")
+
+    runner = None
+    if engine == "sharded" and args.parallel:
+        # Stream each chunk's partial-key results as it lands.
+        import multiprocessing
+
+        from repro.runner import Runner, print_progress
+
+        runner = Runner(
+            jobs=multiprocessing.cpu_count(),
+            progress=None if args.quiet else print_progress,
+        )
 
     result = multikey_attack(
         locked,
@@ -167,16 +187,41 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         effort=args.effort,
         parallel=args.parallel,
         time_limit_per_task=args.time_limit,
+        engine=engine,
+        runner=runner,
     )
     print(
-        f"status={result.status} splitting={result.splitting_inputs} "
-        f"dips/task={result.dips_per_task}"
+        f"engine={result.engine} status={result.status} "
+        f"splitting={result.splitting_inputs} dips/task={result.dips_per_task}"
     )
     print(
         f"max task {result.max_subtask_seconds:.2f}s, "
         f"mean {result.mean_subtask_seconds:.2f}s, "
         f"wall {result.wall_seconds:.2f}s"
+        + (
+            f" (one-time encode {result.encode_seconds:.2f}s)"
+            if result.engine == "sharded"
+            else ""
+        )
     )
+    if not args.quiet:
+        stats = result.solver_stats
+        if stats:
+            print(
+                "solver totals: "
+                f"{stats.get('conflicts', 0)} conflicts, "
+                f"{stats.get('decisions', 0)} decisions, "
+                f"{stats.get('learned', 0)} learned clauses"
+            )
+            for task in result.subtasks:
+                s = task.solver_stats
+                print(
+                    f"  shard {task.index}: #DIP={task.num_dips} "
+                    f"conflicts={s.get('conflicts', 0)} "
+                    f"decisions={s.get('decisions', 0)} "
+                    f"learned={s.get('learned', 0)} "
+                    f"t={task.total_seconds:.2f}s"
+                )
     if result.status == "ok":
         equivalent = verify_composition(
             locked, result.splitting_inputs, result.keys, original
@@ -232,6 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--time-limit", type=float, default=None)
     p.add_argument("--parallel", action="store_true")
+    p.add_argument(
+        "--engine", choices=("sharded", "reference"), default="sharded",
+        help="multi-key engine (default: sharded)",
+    )
     _add_runner_args(p)
     p.set_defaults(func=_cmd_table1)
 
@@ -242,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-limit", type=float, default=300.0)
     p.add_argument("--sequential", action="store_true")
     p.add_argument("--no-verify", action="store_true")
+    p.add_argument(
+        "--engine", choices=("sharded", "reference"), default="sharded",
+        help="multi-key engine for the N>0 arm (default: sharded)",
+    )
     _add_runner_args(p)
     p.set_defaults(func=_cmd_table2)
 
@@ -269,6 +322,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--parallel", action="store_true")
     p.add_argument("--time-limit", type=float, default=None)
+    p.add_argument(
+        "--engine", choices=("sharded", "reference"), default="sharded",
+        help="multi-key engine (default: sharded)",
+    )
+    p.add_argument(
+        "--sharded", action="store_true",
+        help="shorthand for --engine sharded",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-shard solver statistics",
+    )
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser("bench", help="emit an ISCAS-class stand-in as .bench")

@@ -11,12 +11,17 @@ Algorithm 1 of the paper:
    original function exactly (Fig. 1b), which we prove by CEC.
 
 Sub-tasks are independent, so :func:`multikey_attack` can fan them out
-over a process pool — the paper's 16-core scenario.
+over a process pool — the paper's 16-core scenario.  Two engines
+implement step 2: the literal ``"reference"`` arm (per-sub-space
+synthesis + cold SAT attack) and the ``"sharded"`` arm
+(:func:`sharded_multikey_attack`: one shared miter encoding, warm
+assumption-pinned shards).
 """
 
 from repro.core.compose import compose_multikey_netlist, verify_composition
 from repro.core.conditional import ConditionalNetlist, generate_conditional_netlist
 from repro.core.multikey import MultiKeyResult, SubTaskResult, multikey_attack
+from repro.core.sharded import ShardEngine, sharded_multikey_attack
 from repro.core.scheduling import (
     Schedule,
     attack_time_on_cores,
@@ -31,6 +36,8 @@ __all__ = [
     "generate_conditional_netlist",
     "ConditionalNetlist",
     "multikey_attack",
+    "sharded_multikey_attack",
+    "ShardEngine",
     "MultiKeyResult",
     "SubTaskResult",
     "compose_multikey_netlist",

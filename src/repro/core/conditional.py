@@ -6,6 +6,14 @@ logic".  The interface is preserved (pinned ports stay in the port
 list) so the pinned SAT attack and the oracle line up net-for-net; the
 reduction shows up purely as a smaller gate count — which is where the
 paper's "smaller SAT instances to solve" advantage comes from.
+
+This is the **reference arm** of the multi-key attack: it follows the
+paper literally and serves as the parity baseline the sharded engine
+(:mod:`repro.core.sharded`) is tested against.  The sharded hot path
+never calls it — sub-spaces are selected there with solver assumptions
+against one shared encoding instead of per-sub-space synthesis.  The
+A2 ablation (``run_synthesis=False``) measures what this synthesis
+step buys the reference arm.
 """
 
 from __future__ import annotations

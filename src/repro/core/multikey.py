@@ -1,13 +1,23 @@
-"""Algorithm 1: the multi-key attack.
+"""Algorithm 1: the multi-key attack (paper §3, Tables 1 and 2).
 
 For splitting effort ``N`` the input space splits into ``2^N``
-sub-spaces.  Each sub-task synthesizes a conditional netlist and runs
-the pinned SAT attack; its result key unlocks its sub-space (it may be
-"incorrect" globally — that is the point of the paper).  The tasks are
-embarrassingly parallel; ``parallel=True`` runs them on a process
-pool, and the reported cost follows the paper's convention: *"our
-attack's efficiency is determined by the runtime of the most
-time-intensive sub-task"*.
+sub-spaces, and each sub-space yields its own partial key (it may be
+"incorrect" globally — that is the point of the paper).  Two engines
+implement the sub-space attacks:
+
+* ``engine="reference"`` (this module) follows Algorithm 1 literally:
+  each sub-task synthesizes a conditional netlist
+  (:mod:`repro.core.conditional`) and cold-starts a pinned SAT attack.
+  ``parallel=True`` fans the independent sub-tasks out on a process
+  pool.
+* ``engine="sharded"`` (:mod:`repro.core.sharded`) encodes the miter
+  once and runs the ``2^N`` sub-spaces as assumption-pinned shards
+  against warm solver state — same partial keys, a fraction of the
+  wall-clock.
+
+Both report cost following the paper's convention: *"our attack's
+efficiency is determined by the runtime of the most time-intensive
+sub-task"*.
 """
 
 from __future__ import annotations
@@ -26,7 +36,24 @@ from repro.oracle.oracle import Oracle
 
 @dataclass
 class SubTaskResult:
-    """One of the ``2^N`` independent sub-attacks."""
+    """One of the ``2^N`` sub-attacks (a reference sub-task or a shard).
+
+    Attributes:
+        index: Sub-space index; bit ``j`` gives the value of splitting
+            input ``j`` (Algorithm 1's task numbering).
+        assignment: The splitting-input constants of this sub-space.
+        key: The recovered partial key (``None`` on a budget stop).
+        status: The sub-attack's :class:`SatAttackResult` status.
+        num_dips: DIP iterations this sub-attack executed.
+        elapsed_seconds: The attack loop's wall-clock time.
+        synthesis_seconds: Conditional-synthesis time (0 for shards —
+            the sharded engine never synthesizes).
+        gates_before / gates_after: Netlist size around synthesis.
+        oracle_queries: Oracle queries issued by this sub-attack.
+        solver_stats: This sub-attack's solver counter deltas
+            (conflicts, decisions, learned, ...).
+        key_order: Key port names fixing :attr:`key_int` bit order.
+    """
 
     index: int
     assignment: dict[str, bool]
@@ -43,6 +70,7 @@ class SubTaskResult:
 
     @property
     def key_int(self) -> int | None:
+        """Partial key packed as an integer (``None`` without a key)."""
         if self.key is None:
             return None
         return key_to_int([int(self.key[net]) for net in self.key_order])
@@ -55,7 +83,24 @@ class SubTaskResult:
 
 @dataclass
 class MultiKeyResult:
-    """Everything Algorithm 1 returns, plus the paper's runtime metrics."""
+    """Everything Algorithm 1 returns, plus the paper's runtime metrics.
+
+    Attributes:
+        effort: The splitting effort ``N``.
+        splitting_inputs: The ``N`` pinned primary inputs.
+        subtasks: One :class:`SubTaskResult` per sub-space, in index
+            order.
+        wall_seconds: End-to-end wall-clock of the whole attack.
+        parallel: Whether sub-tasks fanned out across processes.
+        selection: The splitting-input strategy used.
+        engine: ``"reference"`` (per-sub-space synthesis + cold SAT)
+            or ``"sharded"`` (shared encoding, warm shards).
+        encode_seconds: Miter encoding cost on the critical path
+            (sharded engine only: one encode when serial, the parent
+            encode plus the slowest worker's re-encode when parallel;
+            the reference arm pays encoding per sub-task inside
+            ``elapsed_seconds``).
+    """
 
     effort: int
     splitting_inputs: list[str]
@@ -63,40 +108,69 @@ class MultiKeyResult:
     wall_seconds: float
     parallel: bool
     selection: str
+    engine: str = "reference"
+    encode_seconds: float = 0.0
 
     @property
     def status(self) -> str:
+        """``"ok"`` when every sub-task completed, else ``"partial"``."""
         return "ok" if all(t.status == "ok" for t in self.subtasks) else "partial"
 
     @property
     def keys(self) -> list[dict[str, bool]]:
+        """The recovered partial keys (budget-stopped sub-tasks omitted)."""
         return [t.key for t in self.subtasks if t.key is not None]
 
     @property
     def key_ints(self) -> list[int | None]:
+        """Partial keys packed as integers, one entry per sub-space."""
         return [t.key_int for t in self.subtasks]
 
     @property
     def max_subtask_seconds(self) -> float:
+        """Slowest sub-task — the paper's attack-cost metric."""
         return max((t.total_seconds for t in self.subtasks), default=0.0)
 
     @property
     def min_subtask_seconds(self) -> float:
+        """Fastest sub-task (Table 2's "Minimum" column)."""
         return min((t.total_seconds for t in self.subtasks), default=0.0)
 
     @property
     def mean_subtask_seconds(self) -> float:
+        """Mean sub-task cost (Table 2's "Mean" column)."""
         if not self.subtasks:
             return 0.0
         return fmean(t.total_seconds for t in self.subtasks)
 
     @property
     def total_dips(self) -> int:
+        """DIP iterations summed over all sub-tasks."""
         return sum(t.num_dips for t in self.subtasks)
 
     @property
     def dips_per_task(self) -> list[int]:
+        """#DIP per sub-space, in index order (Table 1's columns)."""
         return [t.num_dips for t in self.subtasks]
+
+    @property
+    def solver_stats(self) -> dict[str, int]:
+        """Solver counters aggregated across every sub-task.
+
+        Monotone counters (conflicts, decisions, propagations,
+        learned, ...) are summed; ``max_decision_level`` is the
+        maximum over sub-tasks.  Per-shard numbers stay available on
+        each :class:`SubTaskResult` — nothing is lost when results
+        cross the process-pool boundary.
+        """
+        totals: dict[str, int] = {}
+        for task in self.subtasks:
+            for name, value in task.solver_stats.items():
+                if name == "max_decision_level":
+                    totals[name] = max(totals.get(name, 0), value)
+                else:
+                    totals[name] = totals.get(name, 0) + value
+        return totals
 
 
 def _run_subtask(payload: tuple) -> SubTaskResult:
@@ -154,6 +228,8 @@ def multikey_attack(
     max_dips_per_task: int | None = None,
     seed: int = 0,
     splitting_inputs: list[str] | None = None,
+    engine: str = "reference",
+    runner=None,
 ) -> MultiKeyResult:
     """Run Algorithm 1 with splitting effort ``N = effort``.
 
@@ -167,14 +243,41 @@ def multikey_attack(
             :func:`repro.core.splitting.select_splitting_inputs`).
         run_synthesis: Synthesize each conditional netlist (line 4 of
             Algorithm 1).  Disabling this is the A2 ablation.
+            Reference engine only.
         parallel: Fan the sub-tasks out over a process pool.
         processes: Pool size (defaults to ``min(2^N, cpu_count)``).
         time_limit_per_task / max_dips_per_task: Sub-attack budgets.
         splitting_inputs: Override the selection entirely (used by
             tests and the composition example).
+        engine: ``"reference"`` runs Algorithm 1 literally (one
+            synthesized conditional netlist and one cold SAT attack
+            per sub-space); ``"sharded"`` dispatches to
+            :func:`repro.core.sharded.sharded_multikey_attack`, which
+            shares a single miter encoding across all sub-spaces.
+        runner: Optional :class:`repro.runner.Runner` for the sharded
+            engine's fan-out (ignored by the reference engine, whose
+            sub-tasks carry live objects the task cache cannot hash).
 
     ``effort=0`` degenerates to the baseline single-key SAT attack.
     """
+    if engine == "sharded":
+        from repro.core.sharded import sharded_multikey_attack
+
+        return sharded_multikey_attack(
+            locked,
+            oracle_netlist,
+            effort,
+            selection=selection,
+            parallel=parallel,
+            processes=processes,
+            time_limit_per_task=time_limit_per_task,
+            max_dips_per_task=max_dips_per_task,
+            seed=seed,
+            splitting_inputs=splitting_inputs,
+            runner=runner,
+        )
+    if engine != "reference":
+        raise ValueError(f"unknown multikey engine {engine!r}")
     start = time.perf_counter()
     if splitting_inputs is None:
         splitting_inputs = select_splitting_inputs(

@@ -1,0 +1,417 @@
+"""The shared-encoding sharded multi-key attack engine.
+
+This is the fast arm of Algorithm 1.  The reference arm
+(:func:`repro.core.multikey.multikey_attack` with
+``engine="reference"``) treats the ``2^N`` sub-spaces as fully
+independent attacks: each one synthesizes a conditional netlist
+(:mod:`repro.core.conditional`), Tseitin-encodes a fresh miter and
+cold-starts a SAT solver.  All of that work is structurally identical
+across sub-spaces — the miter encoding depends only on the locked
+circuit, not on the splitting assignment — so this engine pays for it
+exactly once:
+
+* the locked circuit's miter is encoded **once** from the compiled IR
+  (:func:`repro.attacks.sat_attack.build_miter_encoding`);
+* each sub-space is expressed by *assumption literals* pinning the
+  splitting inputs — no per-sub-space conditional synthesis on the hot
+  path (``generate_conditional_netlist`` stays as the parity /
+  reference arm);
+* every shard's learned I/O constraints hang off a per-shard *guard*
+  literal, so shards can share one solver: clauses learned while
+  solving shard *i* are sound for shard *j* (guards keep the
+  sub-space-specific facts apart) and carry over as warm state;
+* under ``parallel=True`` the shards fan out through
+  :mod:`repro.runner` as registered ``multikey_shard_chunk`` tasks —
+  ``--jobs`` shards a single attack across cores, partial-key results
+  stream back per chunk through the runner's progress callback, and a
+  pilot shard's learned clauses prime every worker's solver
+  (:meth:`repro.sat.solver.Solver.export_learnts`).
+
+The trade: the reference arm's synthesis can *shrink* each sub-problem
+(the paper's "smaller SAT instances"), while this engine keeps the
+full-size encoding but never rebuilds it.  On every benchmark here the
+shared encoding wins by far more than synthesis saves —
+``benchmarks/test_bench_multikey.py`` enforces a >=2x wall-clock floor
+and records the trajectory in ``BENCH_multikey.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import asdict
+
+from repro.attacks.sat_attack import build_miter_encoding, run_dip_loop
+from repro.circuit.bench import format_bench, parse_bench
+from repro.circuit.netlist import Netlist
+from repro.core.multikey import MultiKeyResult, SubTaskResult
+from repro.core.splitting import select_splitting_inputs, splitting_assignments
+from repro.locking.base import LockedCircuit
+from repro.oracle.oracle import Oracle
+from repro.runner import Runner, TaskSpec, register_task
+from repro.runner.executor import chunk_evenly
+
+#: LBD cap for pilot-shard clauses shipped to worker solvers.
+_WARM_START_MAX_LBD = 4
+
+
+class ShardEngine:
+    """One shared miter encoding, many sub-space shards.
+
+    Build it once per (locked circuit, splitting inputs) pair, then
+    call :meth:`run_shard` for any subset of the ``2^N`` sub-space
+    indices.  Shards executed on the same engine share a single
+    incremental solver, so later shards start from the learned-clause
+    state of earlier ones.
+
+    Args:
+        locked: The locked design under attack.
+        oracle: Black-box oracle for the original function.
+        splitting_inputs: The ``N`` pinned primary inputs; bit ``j`` of
+            a shard index gives the value of ``splitting_inputs[j]``
+            (the indexing of
+            :func:`repro.core.splitting.splitting_assignments`).
+        prime_learnts: Optional DIMACS clauses from another engine's
+            :meth:`export_warm_clauses` — imported as learned clauses
+            before the first shard runs.
+    """
+
+    def __init__(
+        self,
+        locked: LockedCircuit,
+        oracle: Oracle,
+        splitting_inputs: Sequence[str],
+        prime_learnts: Sequence[Sequence[int]] | None = None,
+    ):
+        for net in splitting_inputs:
+            if net not in locked.original_inputs:
+                raise ValueError(
+                    f"splitting input {net!r} is not an original primary input"
+                )
+        self.locked = locked
+        self.oracle = oracle
+        self.splitting_inputs = list(splitting_inputs)
+        start = time.perf_counter()
+        self.enc = build_miter_encoding(locked)
+        if prime_learnts:
+            self.enc.solver.import_learnts(prime_learnts)
+        self.encode_seconds = time.perf_counter() - start
+        self._num_gates = locked.netlist.num_gates
+
+    @property
+    def num_shards(self) -> int:
+        """``2^N`` for ``N`` splitting inputs."""
+        return 1 << len(self.splitting_inputs)
+
+    def assignment(self, index: int) -> dict[str, bool]:
+        """The splitting-input constants of shard ``index``."""
+        return {
+            net: bool((index >> j) & 1)
+            for j, net in enumerate(self.splitting_inputs)
+        }
+
+    def run_shard(
+        self,
+        index: int,
+        time_limit: float | None = None,
+        max_dips: int | None = None,
+    ) -> SubTaskResult:
+        """Attack sub-space ``index`` against the shared encoding.
+
+        The sub-space is selected purely with assumptions (splitting
+        pins + a fresh guard literal for this shard's I/O constraints);
+        nothing is re-encoded.  The shard runs inside a solver frame
+        (:meth:`repro.sat.solver.Solver.checkpoint` /
+        :meth:`~repro.sat.solver.Solver.rollback`): its DIP constraint
+        copies vanish afterwards, while clauses learned about the base
+        miter carry over warm to the next shard.
+
+        Returns a :class:`~repro.core.multikey.SubTaskResult` whose
+        ``solver_stats`` / ``oracle_queries`` are this shard's deltas.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ValueError(
+                f"shard index {index} out of range for {self.num_shards} shards"
+            )
+        assignment = self.assignment(index)
+        input_vars = self.enc.input_vars
+        assume = [
+            input_vars[net] if value else -input_vars[net]
+            for net, value in assignment.items()
+        ]
+        solver = self.enc.solver
+        frame = solver.checkpoint()
+        guard = solver.new_var()
+        result = run_dip_loop(
+            self.enc,
+            self.oracle,
+            pin=assignment,
+            assume=assume,
+            guard=guard,
+            time_limit=time_limit,
+            max_dips=max_dips,
+            record_iterations=False,
+        )
+        # Drop this shard's variables and constraints; keep what the
+        # solver learned about the shared base encoding.
+        solver.rollback(frame)
+        return SubTaskResult(
+            index=index,
+            assignment=assignment,
+            key=result.key,
+            status=result.status,
+            num_dips=result.num_dips,
+            elapsed_seconds=result.elapsed_seconds,
+            synthesis_seconds=0.0,
+            gates_before=self._num_gates,
+            gates_after=self._num_gates,
+            oracle_queries=result.oracle_queries,
+            solver_stats=result.solver_stats,
+            key_order=list(self.locked.key_inputs),
+        )
+
+    def export_warm_clauses(
+        self, max_lbd: int = _WARM_START_MAX_LBD
+    ) -> list[list[int]]:
+        """Learned clauses safe to prime another engine's solver with.
+
+        Only clauses confined to the base miter variables are exported
+        (they cannot depend on any shard's guarded constraints), so the
+        result is implied by the encoding alone and sound to import
+        into any engine built for the same circuit.
+        """
+        return self.enc.solver.export_learnts(
+            max_var=self.enc.base_vars, max_lbd=max_lbd
+        )
+
+
+def _locked_to_params(locked: LockedCircuit) -> dict:
+    """JSON-serializable reconstruction recipe for a locked circuit."""
+    return {
+        "locked_bench": format_bench(locked.netlist),
+        "key_inputs": list(locked.key_inputs),
+        "correct_key": [int(b) for b in locked.correct_key],
+        "original_inputs": list(locked.original_inputs),
+        "scheme": locked.scheme,
+    }
+
+
+def _locked_from_params(params: dict) -> LockedCircuit:
+    """Inverse of :func:`_locked_to_params` (runs in worker processes)."""
+    return LockedCircuit(
+        netlist=parse_bench(params["locked_bench"], name="locked"),
+        key_inputs=list(params["key_inputs"]),
+        correct_key=tuple(int(b) for b in params["correct_key"]),
+        original_inputs=list(params["original_inputs"]),
+        scheme=params.get("scheme", "generic"),
+    )
+
+
+@register_task("multikey_shard_chunk")
+def _shard_chunk_task(params: dict) -> dict:
+    """Worker: run a contiguous chunk of shards on one warm engine.
+
+    The chunk shares a single :class:`ShardEngine` (one encoding, one
+    solver), so learned clauses carry over between the shards executed
+    on this worker.  ``prime_learnts`` arrives through the unhashed
+    execution context and is only imported when the worker's encoding
+    provably matches the exporter's (compiled content hash).
+    """
+    locked = _locked_from_params(params)
+    oracle = Oracle(parse_bench(params["oracle_bench"], name="oracle"))
+    prime = params.get("prime_learnts")
+    if prime and params.get("encoding_hash"):
+        if locked.netlist.compile().content_hash() != params["encoding_hash"]:
+            prime = None  # pragma: no cover - defensive: never import blind
+    engine = ShardEngine(
+        locked,
+        oracle,
+        params["splitting_inputs"],
+        prime_learnts=prime,
+    )
+    shards = [
+        asdict(
+            engine.run_shard(
+                index,
+                time_limit=params.get("time_limit_per_task"),
+                max_dips=params.get("max_dips_per_task"),
+            )
+        )
+        for index in params["shard_indices"]
+    ]
+    return {"shards": shards, "encode_seconds": engine.encode_seconds}
+
+
+def shard_chunk_task(
+    locked: LockedCircuit,
+    oracle_netlist: Netlist,
+    splitting_inputs: Sequence[str],
+    shard_indices: Sequence[int],
+    time_limit_per_task: float | None,
+    max_dips_per_task: int | None,
+    prime_learnts: list[list[int]] | None = None,
+    encoding_hash: str | None = None,
+) -> TaskSpec:
+    """The :class:`TaskSpec` for one worker's chunk of shards.
+
+    Circuits travel as ``.bench`` text, so the params are plain JSON:
+    the same attack hashes identically across processes and the
+    runner's on-disk cache can replay shard chunks.  Warm-start clauses
+    ride in the unhashed execution context — they change how fast a
+    chunk solves, never what it returns.
+    """
+    return TaskSpec(
+        kind="multikey_shard_chunk",
+        params={
+            **_locked_to_params(locked),
+            "oracle_bench": format_bench(oracle_netlist),
+            "splitting_inputs": list(splitting_inputs),
+            "shard_indices": list(shard_indices),
+            "time_limit_per_task": time_limit_per_task,
+            "max_dips_per_task": max_dips_per_task,
+        },
+        context={
+            "prime_learnts": prime_learnts,
+            "encoding_hash": encoding_hash,
+        },
+        label=(
+            f"shards {shard_indices[0]}-{shard_indices[-1]}"
+            if shard_indices
+            else "shards <empty>"
+        ),
+    )
+
+
+def sharded_multikey_attack(
+    locked: LockedCircuit,
+    oracle_netlist: Netlist,
+    effort: int,
+    selection: str = "fanout",
+    parallel: bool = False,
+    processes: int | None = None,
+    time_limit_per_task: float | None = None,
+    max_dips_per_task: int | None = None,
+    seed: int = 0,
+    splitting_inputs: list[str] | None = None,
+    runner: Runner | None = None,
+    warm_start: bool = True,
+) -> MultiKeyResult:
+    """Run Algorithm 1 through the shared-encoding sharded engine.
+
+    Drop-in alternative to
+    :func:`repro.core.multikey.multikey_attack` (same
+    :class:`~repro.core.multikey.MultiKeyResult` shape, same sub-space
+    indexing, same partial-key semantics) that encodes the miter once
+    and runs the ``2^N`` sub-spaces as assumption-pinned shards.
+
+    Args:
+        locked: The locked design (attacker's netlist).
+        oracle_netlist: The original design; each engine instantiates
+            its own :class:`~repro.oracle.oracle.Oracle` from it.
+        effort: ``N``; the input space splits into ``2^N`` sub-spaces.
+        selection: Splitting-input strategy (see
+            :func:`repro.core.splitting.select_splitting_inputs`).
+        parallel: Fan shard chunks out through :mod:`repro.runner`.
+        processes: Worker count for the default runner (ignored when
+            ``runner`` is supplied).
+        time_limit_per_task / max_dips_per_task: Per-shard budgets.
+        seed: Seed for the ``random`` selection strategy.
+        splitting_inputs: Override the selection entirely.
+        runner: Runner to submit shard chunks through (its progress
+            callback streams each chunk's partial keys as it lands; its
+            cache, when enabled, replays identical attacks).  A plain
+            uncached pool is built when omitted.
+        warm_start: In parallel mode, run shard 0 in-process first and
+            prime every worker's solver with its exported learned
+            clauses.
+
+    ``effort=0`` degenerates to the baseline single-key SAT attack on
+    a single shard.
+
+    Example (a 2-bit XOR-locked toy, split on one input)::
+
+        >>> from repro.circuit.random_circuits import random_netlist
+        >>> from repro.locking.xor_lock import xor_lock
+        >>> original = random_netlist(4, 12, seed=7)
+        >>> locked = xor_lock(original, 2, seed=1)
+        >>> result = sharded_multikey_attack(locked, original, effort=1)
+        >>> result.engine, result.status, len(result.subtasks)
+        ('sharded', 'ok', 2)
+        >>> all(task.key is not None for task in result.subtasks)
+        True
+    """
+    start = time.perf_counter()
+    if splitting_inputs is None:
+        splitting_inputs = select_splitting_inputs(
+            locked, effort, strategy=selection, seed=seed
+        )
+    elif len(splitting_inputs) != effort:
+        raise ValueError("splitting_inputs length must equal effort")
+    assignments = splitting_assignments(splitting_inputs)
+    num_shards = len(assignments)
+
+    fan_out = (parallel or runner is not None) and num_shards > 1
+    oracle = Oracle(oracle_netlist)
+    engine = ShardEngine(locked, oracle, splitting_inputs)
+    encode_seconds = engine.encode_seconds
+
+    if not fan_out:
+        subtasks = [
+            engine.run_shard(
+                index,
+                time_limit=time_limit_per_task,
+                max_dips=max_dips_per_task,
+            )
+            for index in range(num_shards)
+        ]
+    else:
+        # Pilot shard in-process: its result is shard 0's, and its
+        # learned clauses become every worker's warm start.
+        pilot = engine.run_shard(
+            0, time_limit=time_limit_per_task, max_dips=max_dips_per_task
+        )
+        prime = engine.export_warm_clauses() if warm_start else None
+        encoding_hash = locked.netlist.compile().content_hash()
+        if runner is None:
+            import multiprocessing
+
+            runner = Runner(jobs=processes or multiprocessing.cpu_count())
+        chunks = chunk_evenly(
+            list(range(1, num_shards)), max(1, runner.jobs)
+        )
+        specs = [
+            shard_chunk_task(
+                locked,
+                oracle_netlist,
+                splitting_inputs,
+                chunk,
+                time_limit_per_task,
+                max_dips_per_task,
+                prime_learnts=prime,
+                encoding_hash=encoding_hash,
+            )
+            for chunk in chunks
+        ]
+        subtasks = [pilot]
+        worker_encode = 0.0
+        for task in runner.run(specs):
+            for shard in task.artifact["shards"]:
+                subtasks.append(SubTaskResult(**shard))
+            worker_encode = max(
+                worker_encode, task.artifact.get("encode_seconds", 0.0)
+            )
+        # Workers re-encode concurrently, so the critical path carries
+        # the parent encode plus the slowest worker's re-encode.
+        encode_seconds += worker_encode
+        subtasks.sort(key=lambda task: task.index)
+
+    return MultiKeyResult(
+        effort=effort,
+        splitting_inputs=list(splitting_inputs),
+        subtasks=subtasks,
+        wall_seconds=time.perf_counter() - start,
+        parallel=fan_out,
+        selection=selection,
+        engine="sharded",
+        encode_seconds=encode_seconds,
+    )

@@ -82,6 +82,7 @@ def _table1_cell_task(params: dict) -> dict:
         parallel=params.get("parallel", False),
         time_limit_per_task=params["time_limit_per_task"],
         seed=seed,
+        engine=params.get("engine", "reference"),
     )
     dips = attack.dips_per_task
     return asdict(
@@ -104,8 +105,13 @@ def table1_task(
     seed: int,
     time_limit_per_task: float | None,
     parallel: bool = False,
+    engine: str = "sharded",
 ) -> TaskSpec:
-    """The :class:`TaskSpec` for one Table 1 grid entry."""
+    """The :class:`TaskSpec` for one Table 1 grid entry.
+
+    ``engine`` is hashed (it selects the attack implementation), while
+    ``parallel`` stays in the unhashed execution context.
+    """
     return TaskSpec(
         kind="table1_cell",
         params={
@@ -115,6 +121,7 @@ def table1_task(
             "scale": scale,
             "seed": seed,
             "time_limit_per_task": time_limit_per_task,
+            "engine": engine,
         },
         context={"parallel": parallel},
         label=f"table1 |K|={key_size} N={effort}",
@@ -130,6 +137,7 @@ def run_table1(
     time_limit_per_task: float | None = None,
     parallel: bool = False,
     runner: Runner | None = None,
+    engine: str = "sharded",
 ) -> Table1Result:
     """Regenerate Table 1.
 
@@ -137,6 +145,11 @@ def run_table1(
     circuit, which does not change SARLock's #DIP (it depends only on
     the key size and the splitting effort) but keeps pure-Python
     runtimes reasonable.
+
+    ``engine`` selects the multi-key implementation: the default
+    ``"sharded"`` engine shares one miter encoding across all
+    sub-spaces; ``"reference"`` is the literal per-sub-space Algorithm
+    1 arm (both report the same #DIP grid).
     """
     runner = runner or Runner()
     specs = [
@@ -148,6 +161,7 @@ def run_table1(
             seed=seed,
             time_limit_per_task=time_limit_per_task,
             parallel=False,
+            engine=engine,
         )
         for key_size in key_sizes
         for effort in efforts

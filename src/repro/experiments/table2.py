@@ -119,6 +119,7 @@ def _table2_row_task(params: dict) -> dict:
         processes=params.get("processes"),
         time_limit_per_task=time_limit,
         seed=seed,
+        engine=params.get("engine", "reference"),
     )
 
     equivalent: bool | None = None
@@ -156,12 +157,15 @@ def table2_task(
     verify: bool,
     parallel: bool = False,
     processes: int | None = None,
+    engine: str = "sharded",
 ) -> TaskSpec:
     """The :class:`TaskSpec` for one Table 2 row.
 
     Inner-attack parallelism goes in the (unhashed) execution context:
     it changes how a row is computed, never what it contains, so serial
-    and fanned-out runs share cache entries.
+    and fanned-out runs share cache entries.  ``engine`` selects the
+    multi-key implementation and *is* hashed — timing columns are part
+    of the artifact, and the engines earn different ones.
     """
     return TaskSpec(
         kind="table2_row",
@@ -173,6 +177,7 @@ def table2_task(
             "time_limit_per_task": time_limit_per_task,
             "seed": seed,
             "verify": verify,
+            "engine": engine,
         },
         context={"parallel": parallel, "processes": processes},
         label=f"table2 {circuit}",
@@ -190,6 +195,7 @@ def run_table2(
     seed: int = 1,
     verify: bool = True,
     runner: Runner | None = None,
+    engine: str = "sharded",
 ) -> Table2Result:
     """Regenerate Table 2.
 
@@ -202,6 +208,12 @@ def run_table2(
     when its pool will execute more than one row the *inner* sub-task
     pool is disabled so worker processes do not oversubscribe the
     machine (a lone uncached row keeps its own 2^N-way pool).
+
+    ``engine`` selects the multi-key implementation for the N > 0 arm
+    (the baseline column is always the classic cold SAT attack): the
+    default ``"sharded"`` engine shares one miter encoding across the
+    ``2^N`` sub-spaces, ``"reference"`` reproduces the paper's literal
+    per-sub-space flow.
     """
     spec = spec or LutModuleSpec.paper_scale()
     runner = runner or Runner()
@@ -216,6 +228,7 @@ def run_table2(
             verify=verify,
             parallel=False,
             processes=processes,
+            engine=engine,
         )
         for name in circuits
     ]

@@ -62,6 +62,26 @@ class LutModuleSpec:
         return self.num_stage1 * (1 << self.stage1_width) + (1 << self.stage2_width)
 
     @classmethod
+    def by_name(cls, name: str) -> "LutModuleSpec":
+        """Resolve a preset by name: ``tiny`` | ``small`` | ``paper``.
+
+        The single roster behind every CLI/example spec argument;
+        raises ``ValueError`` with the known names on a miss.
+        """
+        presets = {
+            "tiny": cls.tiny,
+            "small": cls.small,
+            "paper": cls.paper_scale,
+        }
+        try:
+            return presets[name]()
+        except KeyError:
+            known = ", ".join(sorted(presets))
+            raise ValueError(
+                f"unknown LUT spec {name!r} (known: {known})"
+            ) from None
+
+    @classmethod
     def tiny(cls) -> "LutModuleSpec":
         """2x 3-LUT + 3-LUT = 24 key bits; for unit tests."""
         return cls(stage1_width=3, num_stage1=2, stage2_width=3)

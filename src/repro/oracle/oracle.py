@@ -61,6 +61,21 @@ class Oracle:
         ``j``; the result holds one packed output word per pattern
         (bit ``k`` = output ``k``, as in :meth:`query_int`).  Counts
         ``len(patterns)`` queries — see the module docstring.
+
+        ::
+
+            >>> from repro.circuit.netlist import Netlist
+            >>> from repro.circuit.gates import GateType
+            >>> netlist = Netlist("toy")
+            >>> _ = netlist.add_input("a")
+            >>> _ = netlist.add_input("b")
+            >>> _ = netlist.add_gate("x", GateType.AND, ["a", "b"])
+            >>> netlist.set_outputs(["x"])
+            >>> oracle = Oracle(netlist)
+            >>> oracle.query_batch([0b00, 0b01, 0b10, 0b11])
+            [0, 0, 0, 1]
+            >>> oracle.query_count
+            4
         """
         self.query_count += len(patterns)
         return self._compiled.eval_batch(patterns)

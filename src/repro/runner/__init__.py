@@ -17,7 +17,7 @@ Typical use::
 """
 
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
-from repro.runner.executor import Runner, map_parallel, print_progress
+from repro.runner.executor import Runner, chunk_evenly, map_parallel, print_progress
 from repro.runner.task import (
     CACHE_FORMAT_VERSION,
     TaskResult,
@@ -36,6 +36,7 @@ __all__ = [
     "TaskResult",
     "TaskSpec",
     "canonical_json",
+    "chunk_evenly",
     "default_cache_dir",
     "map_parallel",
     "print_progress",

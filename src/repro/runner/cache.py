@@ -51,6 +51,7 @@ class ResultCache:
         self.misses = 0
 
     def path_for(self, spec: TaskSpec) -> Path:
+        """Artifact file for ``spec``: ``<root>/<kind>/<sha256>.json``."""
         return self.root / spec.kind / f"{spec.cache_key}.json"
 
     def contains(self, spec: TaskSpec) -> bool:
@@ -133,6 +134,7 @@ class ResultCache:
         return removed
 
     def entry_count(self, kind: str | None = None) -> int:
+        """Number of stored artifacts (optionally for one task kind)."""
         root = self.root / kind if kind else self.root
         if not root.is_dir():
             return 0

@@ -50,6 +50,30 @@ def map_parallel(
         return list(pool.map(fn, items))
 
 
+def chunk_evenly(items: Sequence[_T], chunks: int) -> list[list[_T]]:
+    """Split ``items`` into at most ``chunks`` contiguous near-equal runs.
+
+    Sizes differ by at most one and order is preserved; empty chunks
+    are never returned.  This is the shard-to-worker assignment used by
+    the sharded multi-key engine: contiguous runs keep each worker's
+    solver warm across neighbouring sub-spaces.
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be positive")
+    total = len(items)
+    chunks = min(chunks, total)
+    if chunks == 0:
+        return []
+    base, extra = divmod(total, chunks)
+    out: list[list[_T]] = []
+    index = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(list(items[index : index + size]))
+        index += size
+    return out
+
+
 def _invoke(fn: Callable[[dict], dict], params: dict) -> tuple[dict, float]:
     """Worker-side shim: run ``fn`` and time it where it executes."""
     start = time.perf_counter()

@@ -74,6 +74,7 @@ class TaskSpec:
         return merged
 
     def describe(self) -> str:
+        """Human-readable tag: the label, else ``kind:hash-prefix``."""
         return self.label or f"{self.kind}:{self.cache_key[:10]}"
 
 
@@ -123,4 +124,5 @@ def task_worker(kind: str) -> Callable[[dict], dict]:
 
 
 def registered_kinds() -> list[str]:
+    """Sorted names of every registered task kind."""
     return sorted(_REGISTRY)

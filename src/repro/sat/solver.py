@@ -10,7 +10,11 @@ This is the MiniSAT recipe in pure Python:
 * learned-clause database reduction driven by LBD ("glue") and
   activity,
 * incremental use: clauses may be added between ``solve()`` calls and
-  each call may carry assumptions.
+  each call may carry assumptions,
+* warm starts: :meth:`Solver.export_learnts` /
+  :meth:`Solver.import_learnts` move learned clauses between solver
+  instances that share an encoding prefix (the sharded multi-key
+  engine primes worker solvers this way).
 
 Internally a literal is encoded as ``2 * var`` (positive) or
 ``2 * var + 1`` (negative) so that negation is ``lit ^ 1`` and the
@@ -166,6 +170,36 @@ class Solver:
         while self._nvars < v:
             self.new_var()
 
+    def _normalize_clause(self, lits) -> list[int] | None:
+        """DIMACS literals -> minimal internal clause, or None.
+
+        Allocates missing variables, drops duplicate and root-falsified
+        literals, and returns ``None`` when the clause is vacuous (a
+        tautology or already satisfied at root level).  The solver must
+        be at decision level 0.  Shared by :meth:`add_clause` and
+        :meth:`import_learnts` so the two entry points cannot diverge.
+        """
+        internal: list[int] = []
+        seen: set[int] = set()
+        for ext in lits:
+            if ext == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            var = abs(ext)
+            self._ensure_var(var)
+            lit = var * 2 + (1 if ext < 0 else 0)
+            if lit ^ 1 in seen:
+                return None  # tautology: x OR !x
+            if lit in seen:
+                continue
+            val = self._litval[lit]
+            if val == 1 and self._level[var] == 0:
+                return None  # already satisfied at root
+            if val == -1 and self._level[var] == 0:
+                continue  # falsified at root: drop the literal
+            seen.add(lit)
+            internal.append(lit)
+        return internal
+
     def add_clause(self, lits) -> bool:
         """Add a clause of DIMACS literals.
 
@@ -177,25 +211,9 @@ class Solver:
         if not self._ok:
             return False
         self._cancel_until(0)  # leave any previous solution state
-        internal: list[int] = []
-        seen: set[int] = set()
-        for ext in lits:
-            if ext == 0:
-                raise ValueError("0 is not a valid DIMACS literal")
-            var = abs(ext)
-            self._ensure_var(var)
-            lit = var * 2 + (1 if ext < 0 else 0)
-            if lit ^ 1 in seen:
-                return True  # tautology: x OR !x
-            if lit in seen:
-                continue
-            val = self._litval[lit]
-            if val == 1 and self._level[var] == 0:
-                return True  # already satisfied at root
-            if val == -1 and self._level[var] == 0:
-                continue  # falsified at root: drop the literal
-            seen.add(lit)
-            internal.append(lit)
+        internal = self._normalize_clause(lits)
+        if internal is None:
+            return True
 
         if not internal:
             self._ok = False
@@ -217,10 +235,148 @@ class Solver:
         return True
 
     def add_clauses(self, clause_iter) -> bool:
+        """Add many DIMACS clauses; returns the conjunction of results."""
         ok = True
         for clause in clause_iter:
             ok = self.add_clause(clause) and ok
         return ok
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback frames
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> tuple[int, int]:
+        """Snapshot the variable and clause counts for :meth:`rollback`.
+
+        The solver is brought back to decision level 0 first (always
+        true between ``solve()`` calls anyway).  Pair with
+        :meth:`rollback` to use the solver in *frames*: everything
+        allocated after the checkpoint — variables, problem clauses,
+        learned clauses touching the new variables — can be discarded
+        wholesale while learned clauses over checkpoint-time variables
+        survive.  The sharded multi-key engine runs every sub-space
+        shard in such a frame: shard-local DIP constraints vanish,
+        circuit-structure learning carries over warm.
+        """
+        self._cancel_until(0)
+        return (self._nvars, len(self._clauses))
+
+    def rollback(self, mark: tuple[int, int]) -> None:
+        """Discard all variables and clauses added after ``mark``.
+
+        Learned clauses confined to checkpoint-time variables are kept:
+        they were derived from clauses over those variables only (a
+        clause mentioning a post-checkpoint variable can only be
+        resolved away via other post-checkpoint clauses, and Tseitin
+        definitions of fresh variables are conservative extensions), so
+        they remain implied by the surviving formula.  Root-level
+        assignments of surviving variables are also kept.
+        """
+        nvars, nclauses = mark
+        if nvars > self._nvars or nclauses > len(self._clauses):
+            raise ValueError("rollback mark is from the future")
+        self._cancel_until(0)
+        for clause in self._clauses[nclauses:]:
+            clause.deleted = True
+        del self._clauses[nclauses:]
+        kept: list[_Clause] = []
+        for clause in self._learnts:
+            if any(lit >> 1 > nvars for lit in clause.lits):
+                clause.deleted = True
+                self.stats.removed += 1
+            else:
+                kept.append(clause)
+        self._learnts = kept
+        # Root assignments of dropped variables disappear with them.
+        self._trail = [lit for lit in self._trail if lit >> 1 <= nvars]
+        self._qhead = len(self._trail)
+        del self._litval[2 * (nvars + 1):]
+        del self._watches[2 * (nvars + 1):]
+        del self._level[nvars + 1:]
+        del self._reason[nvars + 1:]
+        del self._act[nvars + 1:]
+        del self._phase[nvars + 1:]
+        del self._seen[nvars + 1:]
+        self._order = [entry for entry in self._order if entry[1] <= nvars]
+        heapq.heapify(self._order)
+        self._nvars = nvars
+
+    # ------------------------------------------------------------------
+    # Warm-start clause exchange
+    # ------------------------------------------------------------------
+    def export_learnts(
+        self, max_var: int | None = None, max_lbd: int | None = None
+    ) -> list[list[int]]:
+        """Learned clauses as DIMACS lists, filtered for sound reuse.
+
+        Args:
+            max_var: Keep only clauses whose variables are all
+                ``<= max_var``.  Callers that share an encoding *prefix*
+                (e.g. the base miter of the sharded engine) pass the
+                prefix's variable count: clauses confined to the prefix
+                cannot have been derived from guarded or
+                solver-local extension clauses, so they are implied by
+                the prefix alone and safe to import elsewhere.
+            max_lbd: Keep only clauses with LBD ("glue") at most this —
+                the classic quality filter for clause sharing.
+
+        Returns clauses suitable for :meth:`import_learnts` on another
+        solver holding the same encoding prefix (identical variable
+        numbering).
+        """
+        exported: list[list[int]] = []
+        for clause in self._learnts:
+            if clause.deleted:
+                continue
+            if max_lbd is not None and clause.lbd > max_lbd:
+                continue
+            lits = clause.lits
+            if max_var is not None and any(lit >> 1 > max_var for lit in lits):
+                continue
+            exported.append(
+                [-(lit >> 1) if lit & 1 else lit >> 1 for lit in lits]
+            )
+        return exported
+
+    def import_learnts(self, clauses) -> int:
+        """Install externally derived clauses as *learned* clauses.
+
+        Unlike :meth:`add_clauses`, imported clauses stay eligible for
+        learned-database reduction, so a bad import cannot permanently
+        bloat the solver.  Clauses must be logically implied by the
+        solver's problem clauses (see :meth:`export_learnts` for how
+        the sharded engine guarantees that).  Returns the number of
+        clauses actually installed (tautologies and root-satisfied
+        clauses are dropped).
+        """
+        imported = 0
+        for ext_lits in clauses:
+            if not self._ok:
+                break
+            self._cancel_until(0)
+            internal = self._normalize_clause(ext_lits)
+            if internal is None:
+                continue
+            if not internal:
+                self._ok = False
+                break
+            if len(internal) == 1:
+                lit = internal[0]
+                if self._litval[lit] == -1:
+                    self._ok = False
+                    break
+                if self._litval[lit] == 0:
+                    self._enqueue(lit, None)
+                    self._ok = self._propagate() is None
+                imported += 1
+                continue
+            clause = _Clause(internal, learnt=True)
+            clause.lbd = len(internal)  # pessimistic glue for imports
+            clause.act = self._cla_inc
+            self._learnts.append(clause)
+            self._watches[internal[0]].append(clause)
+            self._watches[internal[1]].append(clause)
+            imported += 1
+        return imported
 
     # ------------------------------------------------------------------
     # Assignment trail

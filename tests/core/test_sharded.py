@@ -1,0 +1,217 @@
+"""Sharded multi-key engine: parity against the reference arm.
+
+The sharded engine must be *observably interchangeable* with the
+per-sub-space reference implementation: same sub-space indexing, same
+#DIP semantics, partial keys that unlock exactly the same sub-spaces,
+and a composed netlist that passes CEC — only the wall-clock may
+differ.  These tests pin that contract on seeded instances.
+"""
+
+import pytest
+
+from repro.attacks.brute_force import brute_force_keys
+from repro.circuit.random_circuits import random_netlist
+from repro.core.compose import verify_composition
+from repro.core.multikey import multikey_attack
+from repro.core.sharded import ShardEngine, sharded_multikey_attack
+from repro.locking.lut_lock import LutModuleSpec, lut_lock
+from repro.locking.sarlock import sarlock_lock
+from repro.locking.xor_lock import xor_lock
+from repro.oracle.oracle import Oracle
+from repro.runner import Runner, chunk_evenly
+
+
+@pytest.fixture
+def setup():
+    original = random_netlist(7, 45, seed=29)
+    locked = sarlock_lock(original, 4, seed=3)
+    return original, locked
+
+
+class TestShardedParity:
+    """The sharded engine recovers the reference arm's partial-key sets."""
+
+    @pytest.mark.parametrize("effort", [0, 1, 2, 3])
+    def test_same_dip_counts_as_reference(self, setup, effort):
+        # SARLock's #DIP is deterministic (one per wrong key in the
+        # reachable sub-space), so both engines must agree exactly.
+        original, locked = setup
+        ref = multikey_attack(locked, original, effort=effort)
+        sharded = sharded_multikey_attack(locked, original, effort=effort)
+        assert sharded.dips_per_task == ref.dips_per_task
+        assert sharded.splitting_inputs == ref.splitting_inputs
+        assert sharded.status == ref.status == "ok"
+        assert sharded.engine == "sharded"
+        assert ref.engine == "reference"
+
+    def test_keys_unlock_same_subspaces(self, setup):
+        # A sub-space's *set* of valid partial keys is engine-
+        # independent; each engine may pick any member of it.
+        original, locked = setup
+        ref = multikey_attack(locked, original, effort=2)
+        sharded = sharded_multikey_attack(locked, original, effort=2)
+        for ref_task, sharded_task in zip(ref.subtasks, sharded.subtasks):
+            assert sharded_task.assignment == ref_task.assignment
+            good = brute_force_keys(
+                locked, Oracle(original), pin=sharded_task.assignment
+            )
+            assert sharded_task.key_int in good
+            assert ref_task.key_int in good
+
+    def test_composition_equivalent(self, setup):
+        original, locked = setup
+        result = sharded_multikey_attack(locked, original, effort=2)
+        assert verify_composition(
+            locked, result.splitting_inputs, result.keys, original
+        ).equivalent
+
+    def test_lut_lock_parity(self):
+        original = random_netlist(8, 60, seed=31)
+        locked = lut_lock(original, LutModuleSpec.tiny(), seed=2)
+        ref = multikey_attack(locked, original, effort=2)
+        sharded = sharded_multikey_attack(locked, original, effort=2)
+        assert sharded.status == ref.status == "ok"
+        assert verify_composition(
+            locked, sharded.splitting_inputs, sharded.keys, original
+        ).equivalent
+
+    def test_xor_lock_parity(self):
+        original = random_netlist(6, 40, seed=11)
+        locked = xor_lock(original, 5, seed=4)
+        sharded = sharded_multikey_attack(locked, original, effort=2)
+        assert sharded.status == "ok"
+        for task in sharded.subtasks:
+            good = brute_force_keys(
+                locked, Oracle(original), pin=task.assignment
+            )
+            assert task.key_int in good
+
+    def test_dispatch_through_multikey_attack(self, setup):
+        original, locked = setup
+        result = multikey_attack(locked, original, effort=1, engine="sharded")
+        assert result.engine == "sharded"
+        assert len(result.subtasks) == 2
+        with pytest.raises(ValueError):
+            multikey_attack(locked, original, effort=1, engine="nonsense")
+
+
+class TestShardedMechanics:
+    def test_parallel_matches_serial(self, setup):
+        original, locked = setup
+        seq = sharded_multikey_attack(locked, original, effort=2)
+        par = sharded_multikey_attack(
+            locked, original, effort=2, parallel=True, processes=2
+        )
+        assert par.parallel is True and seq.parallel is False
+        assert [t.index for t in par.subtasks] == [0, 1, 2, 3]
+        assert par.dips_per_task == seq.dips_per_task
+        for task in par.subtasks:
+            good = brute_force_keys(
+                locked, Oracle(original), pin=task.assignment
+            )
+            assert task.key_int in good
+
+    def test_parallel_results_cacheable(self, setup, tmp_path):
+        original, locked = setup
+        runner = Runner(jobs=2, cache=None)
+        first = sharded_multikey_attack(
+            locked, original, effort=2, runner=runner
+        )
+        from repro.runner import ResultCache
+
+        cached_runner = Runner(jobs=2, cache=ResultCache(tmp_path))
+        warm1 = sharded_multikey_attack(
+            locked, original, effort=2, runner=cached_runner
+        )
+        warm2 = sharded_multikey_attack(
+            locked, original, effort=2, runner=cached_runner
+        )
+        assert warm1.dips_per_task == warm2.dips_per_task == first.dips_per_task
+
+    def test_shard_engine_direct(self, setup):
+        original, locked = setup
+        engine = ShardEngine(
+            locked, Oracle(original), [original.inputs[0], original.inputs[3]]
+        )
+        assert engine.num_shards == 4
+        assert engine.assignment(3) == {
+            original.inputs[0]: True,
+            original.inputs[3]: True,
+        }
+        results = [engine.run_shard(i) for i in range(4)]
+        for index, task in enumerate(results):
+            assert task.index == index
+            assert task.status == "ok"
+            assert task.synthesis_seconds == 0.0
+            assert task.solver_stats["solve_calls"] > 0
+        with pytest.raises(ValueError):
+            engine.run_shard(4)
+
+    def test_shard_engine_rejects_bad_splitting_input(self, setup):
+        original, locked = setup
+        with pytest.raises(ValueError):
+            ShardEngine(locked, Oracle(original), ["not_a_net"])
+
+    def test_splitting_inputs_length_checked(self, setup):
+        original, locked = setup
+        with pytest.raises(ValueError):
+            sharded_multikey_attack(
+                locked, original, effort=2, splitting_inputs=["pi0"]
+            )
+
+    def test_budget_gives_partial_status(self, setup):
+        original, locked = setup
+        result = sharded_multikey_attack(
+            locked, original, effort=1, max_dips_per_task=1
+        )
+        assert result.status == "partial"
+
+    def test_per_shard_solver_stats_survive_pool(self, setup):
+        # The regression this guards: per-shard stats crossing the
+        # process-pool boundary, then aggregating on MultiKeyResult.
+        original, locked = setup
+        result = sharded_multikey_attack(
+            locked, original, effort=2, parallel=True, processes=2
+        )
+        for task in result.subtasks:
+            assert "conflicts" in task.solver_stats
+            assert "decisions" in task.solver_stats
+        totals = result.solver_stats
+        assert totals["solve_calls"] == sum(
+            t.solver_stats["solve_calls"] for t in result.subtasks
+        )
+
+    def test_warm_start_roundtrip(self, setup):
+        original, locked = setup
+        engine = ShardEngine(locked, Oracle(original), [original.inputs[0]])
+        first = engine.run_shard(0)
+        clauses = engine.export_warm_clauses()
+        primed = ShardEngine(
+            locked,
+            Oracle(original),
+            [original.inputs[0]],
+            prime_learnts=clauses,
+        )
+        again = primed.run_shard(0)
+        assert again.num_dips == first.num_dips
+        assert again.key_int in brute_force_keys(
+            locked, Oracle(original), pin=again.assignment
+        )
+
+
+class TestChunkEvenly:
+    def test_even_split(self):
+        assert chunk_evenly([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split_front_loads(self):
+        assert chunk_evenly([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_empty(self):
+        assert chunk_evenly([], 3) == []
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)

@@ -274,3 +274,111 @@ class TestStats:
         s.solve()
         d = s.stats.as_dict()
         assert {"conflicts", "decisions", "propagations", "restarts"} <= set(d)
+
+
+class TestCheckpointRollback:
+    def test_rollback_removes_frame_clauses(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        mark = s.checkpoint()
+        s.add_clause([3, 4])
+        s.add_clause([-1])  # root unit inside the frame survives (var 1 <= mark)
+        assert s.num_vars == 4
+        s.rollback(mark)
+        assert s.num_vars == 2
+        assert s.num_clauses == 1
+        assert s.solve()
+        # The frame's unit on a surviving variable is kept.
+        assert s.model_value(1) is False
+        assert s.model_value(2) is True
+
+    def test_rollback_drops_learnts_on_dropped_vars(self):
+        from repro.sat.random_cnf import random_ksat
+
+        solver = random_ksat(40, 170, seed=2).to_solver()
+        # Learn about the base formula first, so surviving learnts exist.
+        solver.solve()
+        base_learnts = len(solver._learnts)
+        assert base_learnts > 0
+        mark = solver.checkpoint()
+        guard = solver.new_var()
+        # Force unsatisfiability under the guard, then learn about it.
+        for var in range(1, 6):
+            solver.add_clause([-guard, var])
+            solver.add_clause([-guard, -var])
+        assert not solver.solve(assumptions=[guard])
+        solver.rollback(mark)
+        assert solver.num_vars == 40
+        # Clauses over base variables survive; none mention the guard.
+        # (clause.lits holds internal literals: the variable is lit >> 1.)
+        assert solver._learnts
+        for clause in solver._learnts:
+            assert all(lit >> 1 <= 40 for lit in clause.lits)
+        # The base formula's satisfiability is untouched.
+        assert solver.solve() == random_ksat(40, 170, seed=2).to_solver().solve()
+
+    def test_rollback_is_repeatable_per_frame(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        for _ in range(5):
+            mark = s.checkpoint()
+            g = s.new_var()
+            s.add_clause([-g, -2])
+            assert not s.solve(assumptions=[g])
+            assert s.solve()
+            s.rollback(mark)
+        assert s.num_vars == 2
+        assert s.solve()
+        assert s.model_value(2) is True
+
+    def test_future_mark_rejected(self):
+        s = Solver()
+        mark = s.checkpoint()
+        with pytest.raises(ValueError):
+            s.rollback((mark[0] + 1, mark[1]))
+
+
+class TestClauseExchange:
+    def test_export_import_roundtrip(self):
+        from repro.sat.random_cnf import random_ksat
+
+        cnf = random_ksat(50, 210, seed=5)
+        donor = cnf.to_solver()
+        donor.solve()
+        exported = donor.export_learnts()
+        receiver = cnf.to_solver()
+        imported = receiver.import_learnts(exported)
+        assert imported == len(exported)
+        assert receiver.solve() == donor.solve()
+
+    def test_export_respects_max_var(self):
+        from repro.sat.random_cnf import random_ksat
+
+        solver = random_ksat(30, 120, seed=9).to_solver()
+        solver.solve()
+        for clause in solver.export_learnts(max_var=10):
+            assert all(abs(lit) <= 10 for lit in clause)
+
+    def test_export_respects_max_lbd(self):
+        from repro.sat.random_cnf import random_ksat
+
+        solver = random_ksat(40, 170, seed=2).to_solver()
+        solver.solve()
+        capped = solver.export_learnts(max_lbd=2)
+        assert len(capped) <= len(solver.export_learnts())
+
+    def test_import_drops_tautology_and_satisfied(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.import_learnts([[2, -2], [1, 3]]) == 0
+        assert s.solve()
+
+    def test_imported_clauses_participate(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.import_learnts([[-1], [-2, 3]]) == 2
+        assert s.solve()
+        assert s.model_value(1) is False
+        assert s.model_value(2) is True
+        assert s.model_value(3) is True

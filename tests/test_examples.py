@@ -1,0 +1,57 @@
+"""Smoke-test every example script at a tiny problem size.
+
+Examples are the repository's executable documentation: each script in
+``examples/`` must keep running end to end as APIs evolve.  Every
+script accepts positional size arguments precisely so this test can
+shrink the workload to seconds while exercising the real code paths.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_EXAMPLES = _REPO_ROOT / "examples"
+
+#: script -> tiny-size argv (kept in sync with each script's usage line).
+_TINY_ARGS = {
+    "quickstart.py": ["0.12", "4"],
+    "attack_sarlock.py": ["3", "0.12", "2"],
+    "attack_lut_insertion.py": ["c880", "0.15", "tiny"],
+    "countermeasure_study.py": ["0.15", "4"],
+    "defense_evaluation.py": ["0.15", "256", "tiny"],
+    "multikey_parallel.py": ["c880", "0.15", "2"],
+}
+
+
+def test_every_example_is_covered():
+    """A new example must register tiny arguments here to be gated."""
+    scripts = {path.name for path in _EXAMPLES.glob("*.py")}
+    assert scripts == set(_TINY_ARGS), (
+        "examples/ and the smoke-test roster disagree — add tiny-size "
+        "arguments for new scripts to _TINY_ARGS"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(_TINY_ARGS))
+def test_example_runs(script):
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script), *_TINY_ARGS[script]],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=_REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"
