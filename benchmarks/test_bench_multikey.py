@@ -16,9 +16,7 @@ trajectories) as an artifact so the perf history is tracked per PR.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 from repro.bench_circuits.iscas85 import iscas85_like
 from repro.core.compose import verify_composition
@@ -27,11 +25,7 @@ from repro.core.sharded import sharded_multikey_attack
 from repro.locking.lut_lock import LutModuleSpec, lut_lock
 from repro.locking.sarlock import sarlock_lock
 
-from benchmarks.conftest import FULL
-
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-_TRAJECTORY = _REPO_ROOT / "BENCH_multikey.json"
-_MAX_TRAJECTORY_ENTRIES = 200
+from benchmarks.conftest import FULL, append_trajectory
 
 #: (label, circuit, scale, locker, effort).  Shard-heavy configurations
 #: (N=5 -> 32 sub-spaces) are where the reference arm's per-sub-space
@@ -53,26 +47,6 @@ _CASES = (
         5,
     ),
 )
-
-
-def _append_trajectory(entries: list[dict]) -> None:
-    history: list[dict] = []
-    if _TRAJECTORY.exists():
-        try:
-            history = json.loads(_TRAJECTORY.read_text())["trajectory"]
-        except (ValueError, KeyError):  # corrupt file: restart the log
-            history = []
-    history.extend(entries)
-    _TRAJECTORY.write_text(
-        json.dumps(
-            {
-                "benchmark": "multikey",
-                "trajectory": history[-_MAX_TRAJECTORY_ENTRIES:],
-            },
-            indent=2,
-        )
-        + "\n"
-    )
 
 
 def test_sharded_vs_reference_multikey(benchmark):
@@ -138,7 +112,7 @@ def test_sharded_vs_reference_multikey(benchmark):
         benchmark.extra_info[f"{entry['case']}_speedup"] = entry["speedup"]
         benchmark.extra_info[f"{entry['case']}_sharded_s"] = entry["sharded_s"]
 
-    _append_trajectory(entries)
+    append_trajectory("multikey", entries)
 
     for label, speedup in speedups:
         assert speedup >= 2.0, (

@@ -14,16 +14,12 @@ history is tracked per PR.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 from repro.bench_circuits.iscas85 import iscas85_like
 from repro.circuit.simulator import random_patterns, simulate, simulate_reference
 
-_REPO_ROOT = Path(__file__).resolve().parent.parent
-_TRAJECTORY = _REPO_ROOT / "BENCH_sim.json"
-_MAX_TRAJECTORY_ENTRIES = 200
+from benchmarks.conftest import append_trajectory
 
 #: (circuit, scale, parallel width) — the multiplier is the classic
 #: simulation stress case; c5315 adds a wide-interface shape.
@@ -41,23 +37,6 @@ def _median_seconds(fn, rounds: int = 5) -> float:
         times.append(time.perf_counter() - start)
     times.sort()
     return times[len(times) // 2]
-
-
-def _append_trajectory(entries: list[dict]) -> None:
-    history: list[dict] = []
-    if _TRAJECTORY.exists():
-        try:
-            history = json.loads(_TRAJECTORY.read_text())["trajectory"]
-        except (ValueError, KeyError):  # corrupt file: restart the log
-            history = []
-    history.extend(entries)
-    _TRAJECTORY.write_text(
-        json.dumps(
-            {"benchmark": "sim", "trajectory": history[-_MAX_TRAJECTORY_ENTRIES:]},
-            indent=2,
-        )
-        + "\n"
-    )
 
 
 def test_compiled_vs_legacy_simulation(benchmark):
@@ -109,7 +88,7 @@ def test_compiled_vs_legacy_simulation(benchmark):
             "compiled_pps"
         ]
 
-    _append_trajectory(entries)
+    append_trajectory("sim", entries)
 
     for name, speedup in speedups:
         assert speedup >= 3.0, (

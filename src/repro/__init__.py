@@ -14,8 +14,11 @@ The package provides, from the ground up:
 * :mod:`repro.core` — the paper's contribution: the multi-key
   input-space-splitting attack and its MUX-based key composition,
 * :mod:`repro.bench_circuits` — ISCAS'85-class benchmark generators,
+* :mod:`repro.scenarios` — the scenario matrix: declarative
+  ``scheme x attack x engine x circuit`` grids under the multi-key
+  premise,
 * :mod:`repro.experiments` — runners regenerating each paper table and
-  figure.
+  figure (thin scenario specs where the matrix covers them).
 """
 
 __version__ = "1.0.0"

@@ -10,7 +10,11 @@ checkpoints.
 Included here because it is the other classic answer to SAT-resistant
 locking and makes a revealing comparison with the paper's multi-key
 attack: AppSAT relaxes *correctness* to stay fast, the multi-key
-attack keeps exactness but relaxes *key uniqueness*.
+attack keeps exactness but relaxes *key uniqueness*.  The ``pin``
+parameter restricts the whole procedure — DIP search *and* the random
+error checkpoints — to one input sub-space, which is how
+:func:`repro.core.multikey.multikey_attack` runs AppSAT as the
+per-sub-space strategy of the multi-key attack.
 """
 
 from __future__ import annotations
@@ -34,10 +38,11 @@ class AppSatResult:
     num_dips: int
     random_queries: int
     elapsed_seconds: float
-    status: str  # "settled" | "exact" | "timeout"
+    status: str  # "settled" | "exact" | "timeout" | "dip_limit"
     estimated_error_rate: float
     checkpoints: list[float] = field(default_factory=list)
     key_order: list[str] = field(default_factory=list)
+    pinned: dict[str, bool] = field(default_factory=dict)
 
     @property
     def key_int(self) -> int | None:
@@ -55,6 +60,8 @@ def appsat_attack(
     settle_rounds: int = 2,
     time_limit: float | None = None,
     seed: int = 0,
+    pin: Mapping[str, bool] | None = None,
+    max_dips: int | None = None,
 ) -> AppSatResult:
     """Run the approximate attack.
 
@@ -64,8 +71,17 @@ def appsat_attack(
     or below ``error_threshold`` for ``settle_rounds`` consecutive
     checkpoints, the candidate is accepted.  If the underlying SAT
     attack converges first, the result is exact.
+
+    ``pin`` restricts the attack to one input sub-space: DIPs respect
+    the pinned constants and the checkpoint patterns are sampled inside
+    the sub-space, so the accepted key is approximately correct *on the
+    sub-space* — the multi-key attack's per-sub-space contract.
+    ``max_dips`` caps the total DIP budget; when the cap is hit before
+    the candidate settles, the best candidate so far is returned with
+    status ``"dip_limit"``.
     """
     start = time.perf_counter()
+    pin = dict(pin or {})
     rng = random.Random(seed)
     checkpoints: list[float] = []
     total_dips = 0
@@ -79,6 +95,8 @@ def appsat_attack(
     while True:
         rounds += 1
         budget = dips_per_round * rounds
+        if max_dips is not None:
+            budget = min(budget, max_dips)
         remaining = (
             None
             if time_limit is None
@@ -94,10 +112,12 @@ def appsat_attack(
                 estimated_error_rate=1.0,
                 checkpoints=checkpoints,
                 key_order=list(locked.key_inputs),
+                pinned=pin,
             )
         result = sat_attack(
             locked,
             oracle,
+            pin=pin,
             max_dips=budget,
             time_limit=remaining,
             record_iterations=False,
@@ -113,20 +133,35 @@ def appsat_attack(
                 estimated_error_rate=0.0,
                 checkpoints=checkpoints,
                 key_order=list(locked.key_inputs),
+                pinned=pin,
             )
 
         # Extract the candidate key consistent with the DIPs so far by
         # re-running with the same budget but asking for key extraction:
-        candidate = _candidate_key(locked, oracle, budget)
+        candidate = _candidate_key(locked, oracle, budget, pin=pin)
+        out_of_budget = max_dips is not None and budget >= max_dips
         if candidate is None:
+            if out_of_budget:
+                return AppSatResult(
+                    key=None,
+                    num_dips=total_dips,
+                    random_queries=random_queries,
+                    elapsed_seconds=time.perf_counter() - start,
+                    status="dip_limit",
+                    estimated_error_rate=1.0,
+                    checkpoints=checkpoints,
+                    key_order=list(locked.key_inputs),
+                    pinned=pin,
+                )
             continue
         # One bit-parallel sweep for the whole checkpoint: lane q of
         # every word is random query q; the oracle still counts one
-        # query per lane.
+        # query per lane.  Pinned inputs hold their sub-space constant
+        # in every lane, so the measured rate is a sub-space rate.
         keyed = locked.apply_key(candidate)
         compiled = keyed.compile()
         stimuli = random_stimuli_words(
-            compiled.inputs, queries_per_checkpoint, rng
+            compiled.inputs, queries_per_checkpoint, rng, pin
         )
         got = compiled.eval_mapping(stimuli, (1 << queries_per_checkpoint) - 1)
         expected = oracle.query_vector(stimuli, queries_per_checkpoint)
@@ -149,13 +184,29 @@ def appsat_attack(
                     estimated_error_rate=rate,
                     checkpoints=checkpoints,
                     key_order=list(locked.key_inputs),
+                    pinned=pin,
                 )
         else:
             settled_streak = 0
+        if out_of_budget:
+            return AppSatResult(
+                key=candidate,
+                num_dips=total_dips,
+                random_queries=random_queries,
+                elapsed_seconds=time.perf_counter() - start,
+                status="dip_limit",
+                estimated_error_rate=rate,
+                checkpoints=checkpoints,
+                key_order=list(locked.key_inputs),
+                pinned=pin,
+            )
 
 
 def _candidate_key(
-    locked: LockedCircuit, oracle: Oracle, dip_budget: int
+    locked: LockedCircuit,
+    oracle: Oracle,
+    dip_budget: int,
+    pin: Mapping[str, bool] | None = None,
 ) -> dict[str, bool] | None:
     """A key consistent with the first ``dip_budget`` DIPs.
 
@@ -170,6 +221,7 @@ def _candidate_key(
     replay = run(
         locked,
         oracle,
+        pin=pin,
         max_dips=dip_budget,
         record_iterations=False,
         extract_on_budget=True,

@@ -4,6 +4,8 @@ which the SAT attack does not do)."""
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from collections.abc import Mapping
 
 from repro.circuit.simulator import truth_table
@@ -11,11 +13,44 @@ from repro.locking.base import LockedCircuit
 from repro.oracle.oracle import Oracle
 
 
-def brute_force_keys(
+@dataclass
+class BruteForceResult:
+    """Every functionally correct key on a (possibly pinned) sub-space.
+
+    Attributes:
+        keys: All key integers matching the oracle on every input
+            consistent with :attr:`pinned`, in ascending order.
+        elapsed_seconds: Wall-clock time of the enumeration.
+        oracle_queries: Oracle queries issued (one per candidate input
+            pattern; the golden sweep is batched but still counted
+            per pattern).
+        key_order: Key port names fixing the bit order of each entry
+            in :attr:`keys`.
+        pinned: The sub-space restriction the search ran under.
+    """
+
+    keys: list[int]
+    elapsed_seconds: float
+    oracle_queries: int
+    key_order: list[str] = field(default_factory=list)
+    pinned: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def key_int(self) -> int | None:
+        """The smallest correct key (``None`` when nothing matched)."""
+        return self.keys[0] if self.keys else None
+
+    @property
+    def num_keys(self) -> int:
+        """How many keys unlock the sub-space."""
+        return len(self.keys)
+
+
+def brute_force_attack(
     locked: LockedCircuit,
     oracle: Oracle,
     pin: Mapping[str, bool] | None = None,
-) -> list[int]:
+) -> BruteForceResult:
     """All keys matching the oracle on every input consistent with ``pin``.
 
     Exhaustive over both the key space and the input space; only
@@ -24,6 +59,8 @@ def brute_force_keys(
     sweep (still counted as one query per pattern); each candidate key
     is checked against a compiled truth table of the keyed circuit.
     """
+    start = time.perf_counter()
+    queries_before = oracle.query_count
     num_inputs = len(locked.original_inputs)
     if num_inputs + locked.key_size > 22:
         raise ValueError("brute force limited to ~22 total input+key bits")
@@ -84,4 +121,19 @@ def brute_force_keys(
                 break
         if ok:
             good_keys.append(key)
-    return good_keys
+    return BruteForceResult(
+        keys=good_keys,
+        elapsed_seconds=time.perf_counter() - start,
+        oracle_queries=oracle.query_count - queries_before,
+        key_order=list(locked.key_inputs),
+        pinned=pin,
+    )
+
+
+def brute_force_keys(
+    locked: LockedCircuit,
+    oracle: Oracle,
+    pin: Mapping[str, bool] | None = None,
+) -> list[int]:
+    """The bare key list of :func:`brute_force_attack` (compat shim)."""
+    return brute_force_attack(locked, oracle, pin=pin).keys

@@ -8,12 +8,20 @@ Subcommands map one-to-one onto the library's experiment runners::
     repro-lock defense --circuit c1908 --key-size 4 -N 2
     repro-lock attack --circuit c6288 --scheme sarlock --key-size 8 -N 2
     repro-lock attack --engine reference ...   # literal Algorithm 1 arm
+    repro-lock matrix --schemes sarlock,xor --attacks sat,appsat \
+        --engines sharded,reference --circuits c432 --efforts 1,2
+    repro-lock matrix --list-schemes           # registry rosters
+    repro-lock matrix --list-attacks
     repro-lock bench --circuit c7552 --scale 0.3 --out c7552.bench
     repro-lock cache info
 
 ``attack``/``table1``/``table2`` pick the multi-key engine with
 ``--engine {sharded,reference}`` (default: the shared-encoding sharded
-engine; ``reference`` is the per-sub-space synthesis arm).
+engine; ``reference`` is the per-sub-space synthesis arm).  ``matrix``
+evaluates any ``scheme x attack x engine x circuit`` grid under the
+multi-key premise — scheme and attack names come from the registries
+(``--list-schemes`` / ``--list-attacks``) and results export as CSV or
+JSON with ``--csv`` / ``--json``.
 
 Experiment subcommands share the runner flags: ``--jobs`` fans rows
 out over a process pool, ``--cache-dir`` relocates the on-disk result
@@ -151,17 +159,21 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.bench_circuits.iscas85 import iscas85_like
     from repro.core.compose import verify_composition
     from repro.core.multikey import multikey_attack
-    from repro.locking.lut_lock import LutModuleSpec, lut_lock
-    from repro.locking.sarlock import sarlock_lock
-    from repro.locking.xor_lock import xor_lock
+    from repro.locking.base import LockingError
+    from repro.locking.registry import lock_circuit
 
     original = iscas85_like(args.circuit, args.scale)
-    if args.scheme == "sarlock":
-        locked = sarlock_lock(original, args.key_size, seed=args.seed)
-    elif args.scheme == "xor":
-        locked = xor_lock(original, args.key_size, seed=args.seed)
-    else:
-        locked = lut_lock(original, LutModuleSpec.small(), seed=args.seed)
+    try:
+        if args.scheme == "lut":
+            locked = lock_circuit(
+                "lut", original, spec=args.lut_spec, seed=args.seed
+            )
+        else:
+            locked = lock_circuit(
+                args.scheme, original, key_size=args.key_size, seed=args.seed
+            )
+    except (ValueError, LockingError) as error:
+        raise SystemExit(f"repro-lock: error: {error}")
     if args.sharded and args.engine == "reference":
         raise SystemExit(
             "repro-lock: error: --sharded contradicts --engine reference"
@@ -181,17 +193,21 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             progress=None if args.quiet else print_progress,
         )
 
-    result = multikey_attack(
-        locked,
-        original,
-        effort=args.effort,
-        parallel=args.parallel,
-        time_limit_per_task=args.time_limit,
-        engine=engine,
-        runner=runner,
-    )
+    try:
+        result = multikey_attack(
+            locked,
+            original,
+            effort=args.effort,
+            parallel=args.parallel,
+            time_limit_per_task=args.time_limit,
+            engine=engine,
+            attack=args.attack,
+            runner=runner,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro-lock: error: {error}")
     print(
-        f"engine={result.engine} status={result.status} "
+        f"engine={result.engine} attack={result.attack} status={result.status} "
         f"splitting={result.splitting_inputs} dips/task={result.dips_per_task}"
     )
     print(
@@ -222,12 +238,92 @@ def _cmd_attack(args: argparse.Namespace) -> int:
                     f"learned={s.get('learned', 0)} "
                     f"t={task.total_seconds:.2f}s"
                 )
-    if result.status == "ok":
+    exact = result.status == "ok" and all(
+        task.status == "ok" for task in result.subtasks
+    )
+    if exact:
         equivalent = verify_composition(
             locked, result.splitting_inputs, result.keys, original
         )
         print(f"multi-key composition equivalent: {bool(equivalent)}")
+    elif result.status == "ok":
+        # Settled (approximate) keys cannot pass CEC by design.
+        print("multi-key composition: skipped (approximate sub-space keys)")
     return 0 if result.status == "ok" else 1
+
+
+def _parse_str_list(text: str) -> tuple[str, ...]:
+    return tuple(tok.strip() for tok in text.split(",") if tok.strip())
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.attacks.registry import attack_info, registered_attacks
+    from repro.locking.registry import registered_schemes, scheme_info
+
+    if args.list_schemes or args.list_attacks:
+        if args.list_schemes:
+            print("registered locking schemes:")
+            for name in registered_schemes():
+                print(f"  {name}: {scheme_info(name).description}")
+        if args.list_attacks:
+            print("registered attacks:")
+            for name in registered_attacks():
+                info = attack_info(name)
+                shard = " [shared-encoding]" if info.supports_shared_encoding else ""
+                print(f"  {name}: {info.description}{shard}")
+        return 0
+
+    from pathlib import Path
+
+    from repro.locking.base import LockingError
+    from repro.scenarios import ScenarioSpec, run_matrix
+
+    def scheme_axis(name: str) -> tuple[str, dict]:
+        # The LUT module's key width comes from its spec, every other
+        # registered scheme takes --key-size directly.
+        if name == "lut":
+            return name, {"spec": args.lut_spec}
+        return name, {"key_size": args.key_size}
+
+    try:
+        spec = ScenarioSpec(
+            schemes=[scheme_axis(name) for name in _parse_str_list(args.schemes)],
+            attacks=_parse_str_list(args.attacks),
+            engines=_parse_str_list(args.engines),
+            circuits=_parse_str_list(args.circuits),
+            scale=args.scale,
+            efforts=_parse_int_list(args.efforts),
+            seeds=_parse_int_list(args.seeds),
+            time_limit_per_task=args.time_limit,
+            max_dips_per_task=args.max_dips,
+            include_baseline=args.baseline,
+            verify_composition=args.verify,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro-lock: error: {error}")
+    try:
+        result = run_matrix(
+            spec, runner=_make_runner(args), inner_parallel=args.parallel
+        )
+    except (ValueError, LockingError) as error:
+        # Scheme/attack errors surface here when a cell worker rejects
+        # its params (e.g. an odd antisat key size).
+        raise SystemExit(f"repro-lock: error: {error}")
+    print(result.format())
+    if args.csv:
+        Path(args.csv).write_text(result.to_csv())
+        print(f"wrote {len(result.cells)} cells to {args.csv}")
+    if args.json:
+        Path(args.json).write_text(result.to_json())
+        print(f"wrote {len(result.cells)} cells to {args.json}")
+    # Like `attack`: exit nonzero when any cell failed, so CI smoke
+    # runs catch partial/timeout cells and CEC failures, not just
+    # crashes.
+    failed = any(
+        cell.status != "ok" or cell.composition_equivalent is False
+        for cell in result.cells
+    )
+    return 1 if failed else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -315,7 +411,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("attack", help="lock a benchmark and attack it")
     p.add_argument("--circuit", default="c6288")
-    p.add_argument("--scheme", choices=("sarlock", "xor", "lut"), default="sarlock")
+    p.add_argument(
+        "--scheme", default="sarlock",
+        help="registered scheme name (see matrix --list-schemes)",
+    )
+    p.add_argument(
+        "--attack", default="sat",
+        help="registered per-sub-space attack (see matrix --list-attacks)",
+    )
+    p.add_argument(
+        "--lut-spec", choices=("tiny", "small", "paper"), default="small",
+        help="LUT module preset for --scheme lut (default: small)",
+    )
     p.add_argument("--key-size", type=int, default=8)
     p.add_argument("-N", "--effort", type=int, default=2)
     p.add_argument("--scale", type=float, default=0.25)
@@ -335,6 +442,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-shard solver statistics",
     )
     p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser(
+        "matrix",
+        help="evaluate a scheme x attack x engine x circuit scenario grid",
+    )
+    p.add_argument(
+        "--schemes", default="sarlock,xor",
+        help="comma-separated registered scheme names (default: sarlock,xor)",
+    )
+    p.add_argument(
+        "--attacks", default="sat",
+        help="comma-separated registered attack names (default: sat)",
+    )
+    p.add_argument(
+        "--engines", default="sharded",
+        help="comma-separated multi-key engines (default: sharded)",
+    )
+    p.add_argument("--circuits", default="c432")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--efforts", default="1")
+    p.add_argument("--seeds", default="0")
+    p.add_argument(
+        "--key-size", type=int, default=4,
+        help="key bits for width-parameterized schemes (default: 4)",
+    )
+    p.add_argument(
+        "--lut-spec", choices=("tiny", "small", "paper"), default="tiny",
+        help="LUT module preset for the 'lut' scheme (default: tiny)",
+    )
+    p.add_argument("--time-limit", type=float, default=None)
+    p.add_argument("--max-dips", type=int, default=None)
+    p.add_argument(
+        "--baseline", action="store_true",
+        help="also run the N=0 exact baseline per cell (Table 2's ratio)",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="CEC the composed multi-key netlist for successful cells",
+    )
+    p.add_argument("--parallel", action="store_true")
+    p.add_argument("--csv", default="", help="write cells as CSV to this path")
+    p.add_argument("--json", default="", help="write cells as JSON to this path")
+    p.add_argument(
+        "--list-schemes", action="store_true",
+        help="print the locking-scheme registry and exit",
+    )
+    p.add_argument(
+        "--list-attacks", action="store_true",
+        help="print the attack registry and exit",
+    )
+    _add_runner_args(p)
+    p.set_defaults(func=_cmd_matrix)
 
     p = sub.add_parser("bench", help="emit an ISCAS-class stand-in as .bench")
     p.add_argument("--circuit", default="c7552")

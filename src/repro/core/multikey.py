@@ -7,7 +7,7 @@ implement the sub-space attacks:
 
 * ``engine="reference"`` (this module) follows Algorithm 1 literally:
   each sub-task synthesizes a conditional netlist
-  (:mod:`repro.core.conditional`) and cold-starts a pinned SAT attack.
+  (:mod:`repro.core.conditional`) and cold-starts a pinned attack.
   ``parallel=True`` fans the independent sub-tasks out on a process
   pool.
 * ``engine="sharded"`` (:mod:`repro.core.sharded`) encodes the miter
@@ -15,9 +15,17 @@ implement the sub-space attacks:
   against warm solver state — same partial keys, a fraction of the
   wall-clock.
 
-Both report cost following the paper's convention: *"our attack's
-efficiency is determined by the runtime of the most time-intensive
-sub-task"*.
+The per-sub-space strategy is *any* attack registered in
+:mod:`repro.attacks.registry` (``attack="sat"`` by default): the
+paper's one-key critique applies to every oracle-guided attack, and
+generalizing the sub-space step is what lets the scenario matrix
+evaluate e.g. multi-key AppSAT.  Attacks that can run against a shared
+miter encoding keep the sharded fast path; the rest transparently fall
+back to the reference per-sub-space flow.
+
+Both engines report cost following the paper's convention: *"our
+attack's efficiency is determined by the runtime of the most
+time-intensive sub-task"*.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ import time
 from dataclasses import dataclass, field
 from statistics import fmean
 
-from repro.attacks.sat_attack import sat_attack
+from repro.attacks.registry import SUCCESS_STATUSES, attack_info, run_attack
 from repro.circuit.netlist import Netlist
 from repro.core.conditional import generate_conditional_netlist
 from repro.core.splitting import select_splitting_inputs, splitting_assignments
@@ -43,7 +51,7 @@ class SubTaskResult:
             input ``j`` (Algorithm 1's task numbering).
         assignment: The splitting-input constants of this sub-space.
         key: The recovered partial key (``None`` on a budget stop).
-        status: The sub-attack's :class:`SatAttackResult` status.
+        status: The sub-attack's :class:`AttackOutcome` status.
         num_dips: DIP iterations this sub-attack executed.
         elapsed_seconds: The attack loop's wall-clock time.
         synthesis_seconds: Conditional-synthesis time (0 for shards —
@@ -53,6 +61,7 @@ class SubTaskResult:
         solver_stats: This sub-attack's solver counter deltas
             (conflicts, decisions, learned, ...).
         key_order: Key port names fixing :attr:`key_int` bit order.
+        attack: Registered name of the per-sub-space attack that ran.
     """
 
     index: int
@@ -67,6 +76,7 @@ class SubTaskResult:
     oracle_queries: int
     solver_stats: dict[str, int] = field(default_factory=dict)
     key_order: list[str] = field(default_factory=list)
+    attack: str = "sat"
 
     @property
     def key_int(self) -> int | None:
@@ -100,6 +110,7 @@ class MultiKeyResult:
             encode plus the slowest worker's re-encode when parallel;
             the reference arm pays encoding per sub-task inside
             ``elapsed_seconds``).
+        attack: Registered name of the per-sub-space attack.
     """
 
     effort: int
@@ -110,11 +121,21 @@ class MultiKeyResult:
     selection: str
     engine: str = "reference"
     encode_seconds: float = 0.0
+    attack: str = "sat"
 
     @property
     def status(self) -> str:
-        """``"ok"`` when every sub-task completed, else ``"partial"``."""
-        return "ok" if all(t.status == "ok" for t in self.subtasks) else "partial"
+        """``"ok"`` when every sub-task succeeded, else ``"partial"``.
+
+        A sub-task succeeds when its status is in
+        :data:`repro.attacks.registry.SUCCESS_STATUSES` — ``"ok"``
+        (exact) or ``"settled"`` (AppSAT's acceptance criterion).
+        """
+        return (
+            "ok"
+            if all(t.status in SUCCESS_STATUSES for t in self.subtasks)
+            else "partial"
+        )
 
     @property
     def keys(self) -> list[dict[str, bool]]:
@@ -184,34 +205,40 @@ def _run_subtask(payload: tuple) -> SubTaskResult:
         synthesis_effort,
         time_limit,
         max_dips,
+        attack,
+        attack_params,
+        seed,
     ) = payload
     conditional = generate_conditional_netlist(
         locked, assignment, run_synthesis=run_synthesis, effort=synthesis_effort
     )
     oracle = Oracle(original)
-    result = sat_attack(
+    outcome = run_attack(
+        attack,
         conditional.locked,
         oracle,
         pin=assignment,
         time_limit=time_limit,
         max_dips=max_dips,
-        record_iterations=False,
+        seed=seed,
+        **(attack_params or {}),
     )
     return SubTaskResult(
         index=index,
         assignment=dict(assignment),
-        key=result.key,
-        status=result.status,
-        num_dips=result.num_dips,
-        elapsed_seconds=result.elapsed_seconds,
+        key=outcome.key,
+        status=outcome.status,
+        num_dips=outcome.num_dips,
+        elapsed_seconds=outcome.elapsed_seconds,
         synthesis_seconds=(
             conditional.synthesis.elapsed_seconds if conditional.synthesis else 0.0
         ),
         gates_before=conditional.gates_before,
         gates_after=conditional.gates_after,
-        oracle_queries=result.oracle_queries,
-        solver_stats=result.solver_stats,
+        oracle_queries=outcome.oracle_queries,
+        solver_stats=outcome.solver_stats,
         key_order=list(locked.key_inputs),
+        attack=attack,
     )
 
 
@@ -229,6 +256,8 @@ def multikey_attack(
     seed: int = 0,
     splitting_inputs: list[str] | None = None,
     engine: str = "reference",
+    attack: str = "sat",
+    attack_params: dict | None = None,
     runner=None,
 ) -> MultiKeyResult:
     """Run Algorithm 1 with splitting effort ``N = effort``.
@@ -250,17 +279,27 @@ def multikey_attack(
         splitting_inputs: Override the selection entirely (used by
             tests and the composition example).
         engine: ``"reference"`` runs Algorithm 1 literally (one
-            synthesized conditional netlist and one cold SAT attack
-            per sub-space); ``"sharded"`` dispatches to
+            synthesized conditional netlist and one cold per-sub-space
+            attack); ``"sharded"`` dispatches to
             :func:`repro.core.sharded.sharded_multikey_attack`, which
             shares a single miter encoding across all sub-spaces.
+            When the chosen ``attack`` cannot run against a shared
+            encoding (no registered ``shard_fn``), ``"sharded"`` falls
+            back to the reference per-sub-space path and the result's
+            ``engine`` field reports ``"reference"``.
+        attack: Registered per-sub-space attack name (see
+            :func:`repro.attacks.registry.registered_attacks`).
+        attack_params: Extra keyword params for the attack (e.g.
+            AppSAT's ``error_threshold``); must be JSON-serializable
+            when the attack is routed through the runner cache.
         runner: Optional :class:`repro.runner.Runner` for the sharded
             engine's fan-out (ignored by the reference engine, whose
             sub-tasks carry live objects the task cache cannot hash).
 
-    ``effort=0`` degenerates to the baseline single-key SAT attack.
+    ``effort=0`` degenerates to the baseline single-key attack.
     """
-    if engine == "sharded":
+    info = attack_info(attack)
+    if engine == "sharded" and info.supports_shared_encoding:
         from repro.core.sharded import sharded_multikey_attack
 
         return sharded_multikey_attack(
@@ -274,9 +313,11 @@ def multikey_attack(
             max_dips_per_task=max_dips_per_task,
             seed=seed,
             splitting_inputs=splitting_inputs,
+            attack=attack,
+            attack_params=attack_params,
             runner=runner,
         )
-    if engine != "reference":
+    if engine not in ("reference", "sharded"):
         raise ValueError(f"unknown multikey engine {engine!r}")
     start = time.perf_counter()
     if splitting_inputs is None:
@@ -297,6 +338,9 @@ def multikey_attack(
             synthesis_effort,
             time_limit_per_task,
             max_dips_per_task,
+            attack,
+            attack_params,
+            seed,
         )
         for index, assignment in enumerate(assignments)
     ]
@@ -315,4 +359,5 @@ def multikey_attack(
         wall_seconds=time.perf_counter() - start,
         parallel=parallel and len(payloads) > 1,
         selection=selection,
+        attack=attack,
     )

@@ -41,7 +41,8 @@ import time
 from collections.abc import Sequence
 from dataclasses import asdict
 
-from repro.attacks.sat_attack import build_miter_encoding, run_dip_loop
+from repro.attacks.registry import attack_info
+from repro.attacks.sat_attack import build_miter_encoding
 from repro.circuit.bench import format_bench, parse_bench
 from repro.circuit.netlist import Netlist
 from repro.core.multikey import MultiKeyResult, SubTaskResult
@@ -115,6 +116,9 @@ class ShardEngine:
         index: int,
         time_limit: float | None = None,
         max_dips: int | None = None,
+        attack: str = "sat",
+        attack_params: dict | None = None,
+        seed: int = 0,
     ) -> SubTaskResult:
         """Attack sub-space ``index`` against the shared encoding.
 
@@ -126,12 +130,24 @@ class ShardEngine:
         copies vanish afterwards, while clauses learned about the base
         miter carry over warm to the next shard.
 
+        ``attack`` must be a registered attack with a ``shard_fn``
+        (today: ``"sat"``); attacks that cannot run against a shared
+        encoding are rejected here — ``multikey_attack`` routes them
+        to the reference per-sub-space path instead.
+
         Returns a :class:`~repro.core.multikey.SubTaskResult` whose
         ``solver_stats`` / ``oracle_queries`` are this shard's deltas.
         """
         if not 0 <= index < self.num_shards:
             raise ValueError(
                 f"shard index {index} out of range for {self.num_shards} shards"
+            )
+        info = attack_info(attack)
+        if info.shard_fn is None:
+            raise ValueError(
+                f"attack {attack!r} cannot run against a shared encoding; "
+                "use engine='reference' (multikey_attack falls back "
+                "automatically)"
             )
         assignment = self.assignment(index)
         input_vars = self.enc.input_vars
@@ -142,7 +158,7 @@ class ShardEngine:
         solver = self.enc.solver
         frame = solver.checkpoint()
         guard = solver.new_var()
-        result = run_dip_loop(
+        outcome = info.shard_fn(
             self.enc,
             self.oracle,
             pin=assignment,
@@ -150,7 +166,8 @@ class ShardEngine:
             guard=guard,
             time_limit=time_limit,
             max_dips=max_dips,
-            record_iterations=False,
+            seed=seed,
+            **(attack_params or {}),
         )
         # Drop this shard's variables and constraints; keep what the
         # solver learned about the shared base encoding.
@@ -158,16 +175,17 @@ class ShardEngine:
         return SubTaskResult(
             index=index,
             assignment=assignment,
-            key=result.key,
-            status=result.status,
-            num_dips=result.num_dips,
-            elapsed_seconds=result.elapsed_seconds,
+            key=outcome.key,
+            status=outcome.status,
+            num_dips=outcome.num_dips,
+            elapsed_seconds=outcome.elapsed_seconds,
             synthesis_seconds=0.0,
             gates_before=self._num_gates,
             gates_after=self._num_gates,
-            oracle_queries=result.oracle_queries,
-            solver_stats=result.solver_stats,
+            oracle_queries=outcome.oracle_queries,
+            solver_stats=outcome.solver_stats,
             key_order=list(self.locked.key_inputs),
+            attack=attack,
         )
 
     def export_warm_clauses(
@@ -235,6 +253,9 @@ def _shard_chunk_task(params: dict) -> dict:
                 index,
                 time_limit=params.get("time_limit_per_task"),
                 max_dips=params.get("max_dips_per_task"),
+                attack=params.get("attack", "sat"),
+                attack_params=params.get("attack_params"),
+                seed=params.get("seed", 0),
             )
         )
         for index in params["shard_indices"]
@@ -251,6 +272,9 @@ def shard_chunk_task(
     max_dips_per_task: int | None,
     prime_learnts: list[list[int]] | None = None,
     encoding_hash: str | None = None,
+    attack: str = "sat",
+    attack_params: dict | None = None,
+    seed: int = 0,
 ) -> TaskSpec:
     """The :class:`TaskSpec` for one worker's chunk of shards.
 
@@ -269,6 +293,9 @@ def shard_chunk_task(
             "shard_indices": list(shard_indices),
             "time_limit_per_task": time_limit_per_task,
             "max_dips_per_task": max_dips_per_task,
+            "attack": attack,
+            "attack_params": attack_params,
+            "seed": seed,
         },
         context={
             "prime_learnts": prime_learnts,
@@ -295,6 +322,8 @@ def sharded_multikey_attack(
     splitting_inputs: list[str] | None = None,
     runner: Runner | None = None,
     warm_start: bool = True,
+    attack: str = "sat",
+    attack_params: dict | None = None,
 ) -> MultiKeyResult:
     """Run Algorithm 1 through the shared-encoding sharded engine.
 
@@ -324,6 +353,12 @@ def sharded_multikey_attack(
         warm_start: In parallel mode, run shard 0 in-process first and
             prime every worker's solver with its exported learned
             clauses.
+        attack: Registered per-shard attack; must carry a ``shard_fn``
+            (today: ``"sat"``).  Attacks without one are rejected —
+            :func:`repro.core.multikey.multikey_attack` falls back to
+            the reference per-sub-space path for those.
+        attack_params: Extra keyword params for the attack
+            (JSON-serializable; they are part of the task hash).
 
     ``effort=0`` degenerates to the baseline single-key SAT attack on
     a single shard.
@@ -341,6 +376,7 @@ def sharded_multikey_attack(
         True
     """
     start = time.perf_counter()
+    attack_info(attack)  # fail fast on unknown names
     if splitting_inputs is None:
         splitting_inputs = select_splitting_inputs(
             locked, effort, strategy=selection, seed=seed
@@ -361,6 +397,9 @@ def sharded_multikey_attack(
                 index,
                 time_limit=time_limit_per_task,
                 max_dips=max_dips_per_task,
+                attack=attack,
+                attack_params=attack_params,
+                seed=seed,
             )
             for index in range(num_shards)
         ]
@@ -368,7 +407,12 @@ def sharded_multikey_attack(
         # Pilot shard in-process: its result is shard 0's, and its
         # learned clauses become every worker's warm start.
         pilot = engine.run_shard(
-            0, time_limit=time_limit_per_task, max_dips=max_dips_per_task
+            0,
+            time_limit=time_limit_per_task,
+            max_dips=max_dips_per_task,
+            attack=attack,
+            attack_params=attack_params,
+            seed=seed,
         )
         prime = engine.export_warm_clauses() if warm_start else None
         encoding_hash = locked.netlist.compile().content_hash()
@@ -389,6 +433,9 @@ def sharded_multikey_attack(
                 max_dips_per_task,
                 prime_learnts=prime,
                 encoding_hash=encoding_hash,
+                attack=attack,
+                attack_params=attack_params,
+                seed=seed,
             )
             for chunk in chunks
         ]
@@ -414,4 +461,5 @@ def sharded_multikey_attack(
         selection=selection,
         engine="sharded",
         encode_seconds=encode_seconds,
+        attack=attack,
     )

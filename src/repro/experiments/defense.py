@@ -10,26 +10,20 @@ SARLock across the two levers the attack relies on:
 * how much the conditional netlist shrinks,
 * what the multi-key attack actually costs against each.
 
-Each scheme is one ``defense_row`` task submitted through
-:mod:`repro.runner`, so the two arms run side by side under ``--jobs``
-and warm re-runs come from the result cache.
+The two arms are a thin :class:`~repro.scenarios.spec.ScenarioSpec`
+over the scenario matrix (one ``scenario_cell`` per scheme with the
+baseline and resistance measurements enabled), so they run side by
+side under ``--jobs`` and warm re-runs come from the result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 
-from repro.bench_circuits.iscas85 import iscas85_like
-from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table, seconds
-from repro.locking.defense import entangled_sarlock, splitting_resistance
-from repro.locking.sarlock import sarlock_lock
-from repro.runner import Runner, TaskSpec, register_task
-from repro.synth.library import estimate_area
-
-#: Scheme name -> locker; the task worker rebuilds the lock from this.
-DEFENSE_SCHEMES = ("sarlock", "entangled")
-
+from repro.runner import Runner
+from repro.scenarios.matrix import run_matrix
+from repro.scenarios.spec import ScenarioSpec
 
 @dataclass
 class DefenseRow:
@@ -83,44 +77,34 @@ class DefenseResult:
         )
 
 
-@register_task("defense_row")
-def _defense_row_task(params: dict) -> dict:
-    """Worker: lock with one scheme, measure resistance + attack cost."""
-    seed = params["seed"]
-    effort = params["effort"]
-    time_limit = params["time_limit_per_task"]
-    original = iscas85_like(params["circuit"], params["scale"])
-    base_area = estimate_area(original)
-    scheme = params["scheme"]
-    if scheme == "sarlock":
-        locked = sarlock_lock(original, params["key_size"], seed=seed)
-    elif scheme == "entangled":
-        locked = entangled_sarlock(
-            original, params["key_size"], seed=seed, resist_effort=effort
-        )
-    else:
-        raise ValueError(f"unknown defense scheme {scheme!r}")
+def defense_spec(
+    circuit: str,
+    scale: float,
+    key_size: int,
+    effort: int,
+    seed: int,
+    time_limit_per_task: float | None,
+) -> ScenarioSpec:
+    """D1 as a declarative scenario grid: plain vs entangled SARLock.
 
-    resistance = splitting_resistance(locked, original, effort, seed=seed)
-    baseline = multikey_attack(
-        locked, original, effort=0,
-        time_limit_per_task=time_limit,
-    )
-    attack = multikey_attack(
-        locked, original, effort=effort,
-        time_limit_per_task=time_limit,
-    )
-    return asdict(
-        DefenseRow(
-            scheme=scheme,
-            subspace_keys=resistance.keys_unlocking_subspace,
-            gate_reduction=resistance.gate_reduction,
-            baseline_dips=baseline.total_dips,
-            multikey_max_dips=max(attack.dips_per_task),
-            multikey_max_seconds=attack.max_subtask_seconds,
-            area_overhead=estimate_area(locked.netlist) / base_area - 1,
-            status=attack.status,
-        )
+    Both arms run the reference engine (the literal paper flow — the
+    conditional-shrink lever only exists there) with the ``N = 0``
+    baseline and the BDD-exact resistance measurements enabled.
+    """
+    return ScenarioSpec(
+        schemes=[
+            ("sarlock", {"key_size": key_size}),
+            ("entangled", {"key_size": key_size, "resist_effort": effort}),
+        ],
+        attacks=("sat",),
+        engines=("reference",),
+        circuits=(circuit,),
+        scale=scale,
+        efforts=(effort,),
+        seeds=(seed,),
+        time_limit_per_task=time_limit_per_task,
+        include_baseline=True,
+        measure_resistance=True,
     )
 
 
@@ -139,26 +123,31 @@ def run_defense_experiment(
     (``|K| <= |I| - N``) so the guarantee regime is what gets shown;
     push ``key_size`` past it to watch the guarantee degrade.
     """
-    runner = runner or Runner()
-    specs = [
-        TaskSpec(
-            kind="defense_row",
-            params={
-                "circuit": circuit,
-                "scale": scale,
-                "key_size": key_size,
-                "effort": effort,
-                "seed": seed,
-                "time_limit_per_task": time_limit_per_task,
-                "scheme": scheme,
-            },
-            label=f"D1 {circuit} {scheme}",
-        )
-        for scheme in DEFENSE_SCHEMES
-    ]
+    matrix = run_matrix(
+        defense_spec(
+            circuit=circuit,
+            scale=scale,
+            key_size=key_size,
+            effort=effort,
+            seed=seed,
+            time_limit_per_task=time_limit_per_task,
+        ),
+        runner=runner or Runner(),
+    )
     result = DefenseResult(
         circuit=circuit, scale=scale, key_size=key_size, effort=effort
     )
-    for task in runner.run(specs):
-        result.rows.append(DefenseRow(**task.artifact))
+    for cell in matrix.cells:
+        result.rows.append(
+            DefenseRow(
+                scheme=cell.scheme,
+                subspace_keys=cell.subspace_keys,
+                gate_reduction=cell.gate_reduction,
+                baseline_dips=cell.baseline_dips,
+                multikey_max_dips=cell.max_dips,
+                multikey_max_seconds=cell.max_seconds,
+                area_overhead=cell.area_overhead,
+                status=cell.status,
+            )
+        )
     return result

@@ -5,20 +5,21 @@ The paper's flow checker: SARLock's #DIP is deterministic
 shape is ``#DIP ~ 2^|K| - 1`` at ``N = 0``, roughly halving per unit of
 ``N``, with *identical* #DIP across the ``2^N`` parallel tasks.
 
-Every ``(key size, effort)`` grid entry is one ``table1_cell`` task
-submitted through :mod:`repro.runner`, so the grid fans out across
-cores and warm re-runs come straight from the result cache.
+The grid is a thin :class:`~repro.scenarios.spec.ScenarioSpec` over
+the scenario matrix: every ``(key size, effort)`` entry is one
+``scenario_cell`` task submitted through :mod:`repro.runner`, so the
+grid fans out across cores and warm re-runs come straight from the
+result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import dataclass, field
 
-from repro.bench_circuits.iscas85 import iscas85_like
-from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table
-from repro.locking.sarlock import sarlock_lock
-from repro.runner import Runner, TaskSpec, register_task
+from repro.runner import Runner
+from repro.scenarios.matrix import run_matrix
+from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass
@@ -69,62 +70,30 @@ class Table1Result:
         return format_table(headers, rows, title=title)
 
 
-@register_task("table1_cell")
-def _table1_cell_task(params: dict) -> dict:
-    """Worker: one SARLock attack at one (key size, effort) point."""
-    seed = params["seed"]
-    original = iscas85_like(params["circuit"], params["scale"])
-    locked = sarlock_lock(original, params["key_size"], seed=seed)
-    attack = multikey_attack(
-        locked,
-        original,
-        effort=params["effort"],
-        parallel=params.get("parallel", False),
-        time_limit_per_task=params["time_limit_per_task"],
-        seed=seed,
-        engine=params.get("engine", "reference"),
-    )
-    dips = attack.dips_per_task
-    return asdict(
-        Table1Cell(
-            key_size=params["key_size"],
-            effort=params["effort"],
-            dips_per_task=dips,
-            uniform=len(set(dips)) == 1,
-            max_dips=max(dips) if dips else 0,
-            status=attack.status,
-        )
-    )
-
-
-def table1_task(
-    key_size: int,
-    effort: int,
+def table1_spec(
+    key_sizes: tuple[int, ...],
+    efforts: tuple[int, ...],
     circuit: str,
     scale: float,
     seed: int,
     time_limit_per_task: float | None,
-    parallel: bool = False,
     engine: str = "sharded",
-) -> TaskSpec:
-    """The :class:`TaskSpec` for one Table 1 grid entry.
+) -> ScenarioSpec:
+    """Table 1 as a declarative scenario grid.
 
-    ``engine`` is hashed (it selects the attack implementation), while
-    ``parallel`` stays in the unhashed execution context.
+    One SARLock scheme axis entry per key size, the exact SAT attack,
+    one engine — the matrix's expansion order (scheme-major, effort
+    inner) reproduces the classic driver's row order exactly.
     """
-    return TaskSpec(
-        kind="table1_cell",
-        params={
-            "key_size": key_size,
-            "effort": effort,
-            "circuit": circuit,
-            "scale": scale,
-            "seed": seed,
-            "time_limit_per_task": time_limit_per_task,
-            "engine": engine,
-        },
-        context={"parallel": parallel},
-        label=f"table1 |K|={key_size} N={effort}",
+    return ScenarioSpec(
+        schemes=[("sarlock", {"key_size": k}) for k in key_sizes],
+        attacks=("sat",),
+        engines=(engine,),
+        circuits=(circuit,),
+        scale=scale,
+        efforts=tuple(efforts),
+        seeds=(seed,),
+        time_limit_per_task=time_limit_per_task,
     )
 
 
@@ -151,34 +120,34 @@ def run_table1(
     sub-spaces; ``"reference"`` is the literal per-sub-space Algorithm
     1 arm (both report the same #DIP grid).
     """
-    runner = runner or Runner()
-    specs = [
-        table1_task(
-            key_size=key_size,
-            effort=effort,
+    matrix = run_matrix(
+        table1_spec(
+            key_sizes=key_sizes,
+            efforts=efforts,
             circuit=circuit,
             scale=scale,
             seed=seed,
             time_limit_per_task=time_limit_per_task,
-            parallel=False,
             engine=engine,
-        )
-        for key_size in key_sizes
-        for effort in efforts
-    ]
-    # As in run_table2: give the 2^N sub-attack pool back to each cell
-    # when the runner's own pool has at most one cell to execute.
-    if parallel and (runner.jobs <= 1 or runner.pending_count(specs) <= 1):
-        specs = [
-            replace(task, context={**task.context, "parallel": True})
-            for task in specs
-        ]
+        ),
+        runner=runner or Runner(),
+        inner_parallel=parallel,
+    )
     result = Table1Result(
         circuit=circuit,
         scale=scale,
         key_sizes=list(key_sizes),
         efforts=list(efforts),
     )
-    for task in runner.run(specs):
-        result.cells.append(Table1Cell(**task.artifact))
+    for cell in matrix.cells:
+        result.cells.append(
+            Table1Cell(
+                key_size=cell.key_size,
+                effort=cell.effort,
+                dips_per_task=cell.dips_per_task,
+                uniform=cell.uniform,
+                max_dips=cell.max_dips,
+                status=cell.status,
+            )
+        )
     return result

@@ -6,21 +6,22 @@ report the minimum / mean / maximum sub-task runtime and the
 ``maximum / baseline`` ratio — the attack's wall-clock cost on a
 16-core machine is its slowest sub-task.
 
-Each circuit is one ``table2_row`` task submitted through
-:mod:`repro.runner`: rows fan out across worker processes under
-``--jobs`` and re-runs come back from the on-disk result cache.
+The benchmark list is a thin :class:`~repro.scenarios.spec.ScenarioSpec`
+over the scenario matrix (one ``scenario_cell`` per circuit, with the
+baseline arm and CEC verification enabled): rows fan out across worker
+processes under ``--jobs`` and re-runs come back from the on-disk
+result cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field
 
-from repro.bench_circuits.iscas85 import iscas85_like
-from repro.core.compose import verify_composition
-from repro.core.multikey import multikey_attack
 from repro.experiments.report import format_table, seconds
-from repro.locking.lut_lock import LutModuleSpec, lut_lock
-from repro.runner import Runner, TaskSpec, register_task
+from repro.locking.lut_lock import LutModuleSpec
+from repro.runner import Runner
+from repro.scenarios.matrix import run_matrix
+from repro.scenarios.spec import ScenarioSpec
 
 #: The paper's Table 2 benchmark list.
 TABLE2_CIRCUITS = (
@@ -93,94 +94,35 @@ class Table2Result:
         return format_table(headers, body, title=title)
 
 
-@register_task("table2_row")
-def _table2_row_task(params: dict) -> dict:
-    """Worker: lock one benchmark, run baseline + multi-key attack."""
-    spec = LutModuleSpec(**params["spec"])
-    seed = params["seed"]
-    time_limit = params["time_limit_per_task"]
-    original = iscas85_like(params["circuit"], params["scale"])
-    locked = lut_lock(original, spec, seed=seed)
-
-    baseline = multikey_attack(
-        locked,
-        original,
-        effort=0,
-        time_limit_per_task=time_limit,
-        seed=seed,
-    )
-    base_seconds = baseline.max_subtask_seconds
-
-    attack = multikey_attack(
-        locked,
-        original,
-        effort=params["effort"],
-        parallel=params.get("parallel", False),
-        processes=params.get("processes"),
-        time_limit_per_task=time_limit,
-        seed=seed,
-        engine=params.get("engine", "reference"),
-    )
-
-    equivalent: bool | None = None
-    if params["verify"] and attack.status == "ok":
-        equivalent = bool(
-            verify_composition(
-                locked, attack.splitting_inputs, attack.keys, original
-            )
-        )
-
-    return asdict(
-        Table2Row(
-            circuit=params["circuit"],
-            baseline_seconds=base_seconds,
-            baseline_status=baseline.status,
-            min_seconds=attack.min_subtask_seconds,
-            mean_seconds=attack.mean_subtask_seconds,
-            max_seconds=attack.max_subtask_seconds,
-            multikey_status=attack.status,
-            ratio=attack.max_subtask_seconds / max(base_seconds, 1e-9),
-            baseline_dips=baseline.total_dips,
-            dips_per_task=attack.dips_per_task,
-            composition_equivalent=equivalent,
-        )
-    )
-
-
-def table2_task(
-    circuit: str,
+def table2_spec(
+    circuits: tuple[str, ...],
     scale: float,
     spec: LutModuleSpec,
     effort: int,
     time_limit_per_task: float | None,
     seed: int,
     verify: bool,
-    parallel: bool = False,
-    processes: int | None = None,
     engine: str = "sharded",
-) -> TaskSpec:
-    """The :class:`TaskSpec` for one Table 2 row.
+) -> ScenarioSpec:
+    """Table 2 as a declarative scenario grid.
 
-    Inner-attack parallelism goes in the (unhashed) execution context:
-    it changes how a row is computed, never what it contains, so serial
-    and fanned-out runs share cache entries.  ``engine`` selects the
-    multi-key implementation and *is* hashed — timing columns are part
-    of the artifact, and the engines earn different ones.
+    One LUT-locked cell per circuit, with the ``N = 0`` baseline arm
+    and (optionally) CEC verification of the composed multi-key
+    netlist.  ``engine`` selects the N > 0 implementation and *is*
+    hashed — timing columns are part of the artifact, and the engines
+    earn different ones.
     """
-    return TaskSpec(
-        kind="table2_row",
-        params={
-            "circuit": circuit,
-            "scale": scale,
-            "spec": asdict(spec),
-            "effort": effort,
-            "time_limit_per_task": time_limit_per_task,
-            "seed": seed,
-            "verify": verify,
-            "engine": engine,
-        },
-        context={"parallel": parallel, "processes": processes},
-        label=f"table2 {circuit}",
+    return ScenarioSpec(
+        schemes=[("lut", {"spec": asdict(spec)})],
+        attacks=("sat",),
+        engines=(engine,),
+        circuits=tuple(circuits),
+        scale=scale,
+        efforts=(effort,),
+        seeds=(seed,),
+        time_limit_per_task=time_limit_per_task,
+        include_baseline=True,
+        verify_composition=verify,
     )
 
 
@@ -216,31 +158,36 @@ def run_table2(
     per-sub-space flow.
     """
     spec = spec or LutModuleSpec.paper_scale()
-    runner = runner or Runner()
-    specs = [
-        table2_task(
-            circuit=name,
+    matrix = run_matrix(
+        table2_spec(
+            circuits=circuits,
             scale=scale,
             spec=spec,
             effort=effort,
             time_limit_per_task=time_limit_per_task,
             seed=seed,
             verify=verify,
-            parallel=False,
-            processes=processes,
             engine=engine,
-        )
-        for name in circuits
-    ]
-    # Parallelism lives in exactly one place: the runner's pool when it
-    # will actually fan rows out, otherwise inside each row's 2^N
-    # sub-attacks.  Context is unhashed, so flipping it is cache-safe.
-    if parallel and (runner.jobs <= 1 or runner.pending_count(specs) <= 1):
-        specs = [
-            replace(task, context={**task.context, "parallel": True})
-            for task in specs
-        ]
+        ),
+        runner=runner or Runner(),
+        inner_parallel=parallel,
+        processes=processes,
+    )
     result = Table2Result(scale=scale, effort=effort, spec=spec)
-    for task in runner.run(specs):
-        result.rows.append(Table2Row(**task.artifact))
+    for cell in matrix.cells:
+        result.rows.append(
+            Table2Row(
+                circuit=cell.circuit,
+                baseline_seconds=cell.baseline_seconds,
+                baseline_status=cell.baseline_status,
+                min_seconds=cell.min_seconds,
+                mean_seconds=cell.mean_seconds,
+                max_seconds=cell.max_seconds,
+                multikey_status=cell.status,
+                ratio=cell.ratio,
+                baseline_dips=cell.baseline_dips,
+                dips_per_task=cell.dips_per_task,
+                composition_equivalent=cell.composition_equivalent,
+            )
+        )
     return result

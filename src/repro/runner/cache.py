@@ -3,8 +3,8 @@
 Layout (one JSON artifact per task)::
 
     <cache_root>/
-        table2_row/<sha256>.json
-        table1_cell/<sha256>.json
+        scenario_cell/<sha256>.json
+        multikey_shard_chunk/<sha256>.json
         ...
 
 Each artifact records the spec that produced it (kind + params), the

@@ -1,0 +1,354 @@
+"""The scenario-matrix runner: one worker kind for every grid cell.
+
+``scenario_cell`` is the single registered task behind the whole
+matrix: lock a carrier circuit with a registered scheme, run the
+multi-key attack with a registered per-sub-space attack on a chosen
+engine, optionally compare against the ``N = 0`` baseline, CEC the
+composed keys, and measure defense resistance.  The paper's table
+drivers (:mod:`repro.experiments.table1` / ``table2`` / ``defense``)
+are thin :class:`~repro.scenarios.spec.ScenarioSpec` wrappers over
+this worker — and any other ``scheme x attack x engine x circuit``
+cell is one declarative spec away.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.bench_circuits.iscas85 import iscas85_like
+from repro.core.compose import verify_composition
+from repro.core.multikey import multikey_attack
+from repro.locking.registry import lock_circuit
+from repro.runner import Runner, TaskSpec, register_task
+from repro.scenarios.spec import ScenarioSpec
+
+
+@dataclass
+class ScenarioCell:
+    """One evaluated grid point: the scenario plus every metric.
+
+    Optional blocks (baseline comparison, CEC verdict, resistance
+    levers) are ``None`` when the spec did not request them.
+    """
+
+    scheme: str
+    scheme_params: dict
+    attack: str
+    attack_params: dict
+    engine: str
+    engine_used: str
+    circuit: str
+    scale: float
+    effort: int
+    seed: int
+    status: str
+    key_size: int
+    gates: int
+    dips_per_task: list[int]
+    max_dips: int
+    uniform: bool
+    key_ints: list[int | None]
+    oracle_queries: int
+    min_seconds: float
+    mean_seconds: float
+    max_seconds: float
+    wall_seconds: float
+    encode_seconds: float
+    baseline_seconds: float | None = None
+    baseline_status: str | None = None
+    baseline_dips: int | None = None
+    ratio: float | None = None
+    composition_equivalent: bool | None = None
+    subspace_keys: int | None = None
+    gate_reduction: float | None = None
+    area_overhead: float | None = None
+
+
+@register_task("scenario_cell")
+def _scenario_cell_task(params: dict) -> dict:
+    """Worker: evaluate one (scheme, attack, engine, circuit, N) cell."""
+    seed = params["seed"]
+    effort = params["effort"]
+    time_limit = params.get("time_limit_per_task")
+    original = iscas85_like(params["circuit"], params["scale"])
+    scheme_params = dict(params.get("scheme_params") or {})
+    scheme_params.setdefault("seed", seed)
+    locked = lock_circuit(params["scheme"], original, **scheme_params)
+
+    baseline_seconds = baseline_status = baseline_dips = ratio = None
+    if params.get("include_baseline"):
+        # The paper's baseline column: the exact single-key SAT attack
+        # (N = 0, reference arm), whatever the cell's own attack is.
+        baseline = multikey_attack(
+            locked,
+            original,
+            effort=0,
+            time_limit_per_task=time_limit,
+            seed=seed,
+        )
+        baseline_seconds = baseline.max_subtask_seconds
+        baseline_status = baseline.status
+        baseline_dips = baseline.total_dips
+
+    attack = multikey_attack(
+        locked,
+        original,
+        effort=effort,
+        parallel=params.get("parallel", False),
+        processes=params.get("processes"),
+        time_limit_per_task=time_limit,
+        max_dips_per_task=params.get("max_dips_per_task"),
+        seed=seed,
+        engine=params["engine"],
+        attack=params["attack"],
+        attack_params=params.get("attack_params") or {},
+    )
+    if baseline_seconds is not None:
+        ratio = attack.max_subtask_seconds / max(baseline_seconds, 1e-9)
+
+    # Composition equivalence is an exact-key property: a "settled"
+    # AppSAT key is approximate by design (wrong on up to the error
+    # threshold), so CEC would legitimately fail without the attack
+    # having failed.  Verify only when every sub-space key is exact.
+    exact = attack.status == "ok" and all(
+        task.status == "ok" for task in attack.subtasks
+    )
+    equivalent = None
+    if params.get("verify") and exact:
+        equivalent = bool(
+            verify_composition(
+                locked, attack.splitting_inputs, attack.keys, original
+            )
+        )
+
+    subspace_keys = gate_reduction = area_overhead = None
+    if params.get("measure_resistance"):
+        from repro.locking.defense import splitting_resistance
+        from repro.synth.library import estimate_area
+
+        resistance = splitting_resistance(locked, original, effort, seed=seed)
+        subspace_keys = resistance.keys_unlocking_subspace
+        gate_reduction = resistance.gate_reduction
+        area_overhead = (
+            estimate_area(locked.netlist) / estimate_area(original) - 1
+        )
+
+    dips = attack.dips_per_task
+    return asdict(
+        ScenarioCell(
+            scheme=params["scheme"],
+            scheme_params=dict(params.get("scheme_params") or {}),
+            attack=params["attack"],
+            attack_params=dict(params.get("attack_params") or {}),
+            engine=params["engine"],
+            engine_used=attack.engine,
+            circuit=params["circuit"],
+            scale=params["scale"],
+            effort=effort,
+            seed=seed,
+            status=attack.status,
+            key_size=locked.key_size,
+            gates=locked.netlist.num_gates,
+            dips_per_task=dips,
+            max_dips=max(dips) if dips else 0,
+            uniform=len(set(dips)) == 1,
+            key_ints=attack.key_ints,
+            oracle_queries=sum(t.oracle_queries for t in attack.subtasks),
+            min_seconds=attack.min_subtask_seconds,
+            mean_seconds=attack.mean_subtask_seconds,
+            max_seconds=attack.max_subtask_seconds,
+            wall_seconds=attack.wall_seconds,
+            encode_seconds=attack.encode_seconds,
+            baseline_seconds=baseline_seconds,
+            baseline_status=baseline_status,
+            baseline_dips=baseline_dips,
+            ratio=ratio,
+            composition_equivalent=equivalent,
+            subspace_keys=subspace_keys,
+            gate_reduction=gate_reduction,
+            area_overhead=area_overhead,
+        )
+    )
+
+
+def scenario_cell_task(
+    scheme: str,
+    scheme_params: dict,
+    attack: str,
+    attack_params: dict,
+    engine: str,
+    circuit: str,
+    scale: float,
+    effort: int,
+    seed: int,
+    time_limit_per_task: float | None = None,
+    max_dips_per_task: int | None = None,
+    include_baseline: bool = False,
+    verify: bool = False,
+    measure_resistance: bool = False,
+    parallel: bool = False,
+    processes: int | None = None,
+) -> TaskSpec:
+    """The :class:`TaskSpec` for one matrix cell.
+
+    Everything that determines the artifact — scheme, attack, engine,
+    circuit, budgets, the optional measurement blocks — is hashed;
+    inner-attack parallelism lives in the unhashed execution context,
+    so serial and fanned-out evaluations share cache entries.
+    """
+    return TaskSpec(
+        kind="scenario_cell",
+        params={
+            "scheme": scheme,
+            "scheme_params": dict(scheme_params or {}),
+            "attack": attack,
+            "attack_params": dict(attack_params or {}),
+            "engine": engine,
+            "circuit": circuit,
+            "scale": scale,
+            "effort": effort,
+            "seed": seed,
+            "time_limit_per_task": time_limit_per_task,
+            "max_dips_per_task": max_dips_per_task,
+            "include_baseline": include_baseline,
+            "verify": verify,
+            "measure_resistance": measure_resistance,
+        },
+        context={"parallel": parallel, "processes": processes},
+        label=f"{scheme}x{attack}x{engine} {circuit} N={effort}",
+    )
+
+
+#: Flat CSV column order (list/dict fields serialize as canonical JSON).
+_CSV_COLUMNS = [
+    "scheme", "scheme_params", "attack", "attack_params", "engine",
+    "engine_used", "circuit", "scale", "effort", "seed", "status",
+    "key_size", "gates", "max_dips", "uniform", "dips_per_task",
+    "oracle_queries", "min_seconds", "mean_seconds", "max_seconds",
+    "wall_seconds", "encode_seconds", "baseline_seconds",
+    "baseline_status", "baseline_dips", "ratio",
+    "composition_equivalent", "subspace_keys", "gate_reduction",
+    "area_overhead",
+]
+
+
+@dataclass
+class MatrixResult:
+    """Every evaluated cell of one :class:`ScenarioSpec`, in grid order."""
+
+    spec: ScenarioSpec
+    cells: list[ScenarioCell] = field(default_factory=list)
+
+    def select(self, **filters) -> list[ScenarioCell]:
+        """Cells whose attributes match every ``field=value`` filter."""
+        return [
+            cell
+            for cell in self.cells
+            if all(getattr(cell, name) == value for name, value in filters.items())
+        ]
+
+    def cell(self, **filters) -> ScenarioCell:
+        """The unique cell matching ``filters`` (KeyError otherwise)."""
+        matches = self.select(**filters)
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} cells match {filters!r} (expected exactly 1)"
+            )
+        return matches[0]
+
+    def format(self) -> str:
+        """Human-readable summary table of the whole matrix."""
+        # Imported lazily: repro.experiments' package __init__ pulls in
+        # the table drivers, which are themselves built on this module.
+        from repro.experiments.report import format_table, seconds
+
+        headers = [
+            "Scheme", "|K|", "Attack", "Engine", "Circuit", "N",
+            "Status", "max #DIP", "max t", "CEC",
+        ]
+        rows = []
+        for cell in self.cells:
+            engine = cell.engine_used
+            if cell.engine != cell.engine_used:
+                engine = f"{cell.engine}->{cell.engine_used}"
+            rows.append(
+                [
+                    cell.scheme,
+                    cell.key_size,
+                    cell.attack,
+                    engine,
+                    cell.circuit,
+                    cell.effort,
+                    cell.status,
+                    cell.max_dips,
+                    seconds(cell.max_seconds),
+                    {True: "pass", False: "FAIL", None: "-"}[
+                        cell.composition_equivalent
+                    ],
+                ]
+            )
+        title = (
+            f"Scenario matrix: {len(self.cells)} cells "
+            f"(scale={self.spec.scale})"
+        )
+        return format_table(headers, rows, title=title)
+
+    def to_json(self) -> str:
+        """The full matrix as JSON (spec summary + every cell)."""
+        return json.dumps(
+            {
+                "spec": self.spec.describe(),
+                "cells": [asdict(cell) for cell in self.cells],
+            },
+            indent=2,
+        ) + "\n"
+
+    def to_csv(self) -> str:
+        """The matrix as flat CSV (one row per cell)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(_CSV_COLUMNS)
+        for cell in self.cells:
+            record = asdict(cell)
+            row = []
+            for column in _CSV_COLUMNS:
+                value = record[column]
+                if isinstance(value, (dict, list)):
+                    value = json.dumps(value, sort_keys=True)
+                row.append(value)
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+def run_matrix(
+    spec: ScenarioSpec,
+    runner: Runner | None = None,
+    inner_parallel: bool = False,
+    processes: int | None = None,
+) -> MatrixResult:
+    """Evaluate every cell of ``spec`` through the shared runner.
+
+    Parallelism lives in exactly one place: the runner's pool when it
+    will actually fan cells out, otherwise inside each cell's ``2^N``
+    sub-attacks (``inner_parallel=True``).  Context is unhashed, so
+    flipping it is cache-safe.
+    """
+    runner = runner or Runner()
+    specs = spec.expand()
+    if inner_parallel and (
+        runner.jobs <= 1 or runner.pending_count(specs) <= 1
+    ):
+        specs = [
+            replace(
+                task,
+                context={**task.context, "parallel": True, "processes": processes},
+            )
+            for task in specs
+        ]
+    result = MatrixResult(spec=spec)
+    for task in runner.run(specs):
+        result.cells.append(ScenarioCell(**task.artifact))
+    return result

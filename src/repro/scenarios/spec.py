@@ -1,0 +1,192 @@
+"""Declarative scenario grids: ``scheme x attack x engine x circuit``.
+
+A :class:`ScenarioSpec` names *what* to evaluate — locking schemes and
+attacks by their registry names, multi-key engines, carrier circuits,
+splitting efforts, seeds — and expands into one content-hashed
+``scenario_cell`` task per grid point (:mod:`repro.scenarios.matrix`).
+Because every cell is a plain :class:`repro.runner.TaskSpec`, a matrix
+run fans out across processes under ``--jobs`` and warm re-runs replay
+from the on-disk result cache like any other experiment.
+
+Axis entries are JSON-shaped: a scheme or attack axis entry is either
+a bare registry name (``"sarlock"``), a ``(name, params)`` pair
+(``("sarlock", {"key_size": 8})``) or a mapping with a ``"name"`` key
+(``{"name": "sarlock", "key_size": 8}``) — whatever reads best in the
+calling code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.attacks.registry import attack_info
+from repro.locking.registry import scheme_info
+from repro.runner import TaskSpec
+
+#: The recognized multi-key engines (see repro.core.multikey).
+ENGINES = ("sharded", "reference")
+
+
+def normalize_axis(entry) -> tuple[str, dict]:
+    """Normalize one scheme/attack axis entry to ``(name, params)``."""
+    if isinstance(entry, str):
+        return entry, {}
+    if isinstance(entry, Mapping):
+        params = dict(entry)
+        try:
+            name = params.pop("name")
+        except KeyError:
+            raise ValueError(
+                f"axis mapping {entry!r} needs a 'name' key"
+            ) from None
+        return str(name), params
+    name, params = entry
+    return str(name), dict(params)
+
+
+@dataclass
+class ScenarioSpec:
+    """One declarative grid of multi-key attack scenarios.
+
+    Attributes:
+        schemes: Locking-scheme axis (registry names + params).
+        attacks: Per-sub-space attack axis (registry names + params).
+        engines: Multi-key engine axis (``"sharded"`` and/or
+            ``"reference"``; a sharded cell whose attack cannot share
+            an encoding runs the reference path and reports it).
+        circuits: ISCAS-class carrier-circuit names
+            (:func:`repro.bench_circuits.iscas85.iscas85_like`).
+        scale: Carrier-circuit scale factor.
+        efforts: Splitting efforts ``N`` (``2^N`` sub-spaces each).
+        seeds: Seeds; each feeds the scheme (unless its params pin
+            one), the splitting selection and the attack.
+        time_limit_per_task / max_dips_per_task: Sub-attack budgets.
+        include_baseline: Also run the ``N = 0`` exact-SAT baseline
+            per cell and report the max-subtask/baseline ratio
+            (Table 2's metric).
+        verify_composition: CEC the composed multi-key netlist against
+            the original for cells whose attack recovered *exact* keys
+            on every sub-space (approximate "settled" AppSAT keys skip
+            CEC — composition equivalence is an exact-key property).
+        measure_resistance: Measure the defense levers per cell
+            (BDD-exact sub-space key count, conditional shrink, area
+            overhead) — the D1 experiment's columns.
+
+    ``expand()`` is deterministic: cells enumerate in axis order
+    scheme -> attack -> engine -> circuit -> effort -> seed.  For an
+    attack without a registered ``shard_fn`` every requested engine
+    resolves to the reference path, so the engine axis collapses to one
+    ``"reference"`` cell per grid point — the same computation is never
+    run (or cached) twice under two engine labels.
+    """
+
+    schemes: Sequence[object]
+    attacks: Sequence[object] = ("sat",)
+    engines: Sequence[str] = ("sharded",)
+    circuits: Sequence[str] = ("c432",)
+    scale: float = 0.25
+    efforts: Sequence[int] = (1,)
+    seeds: Sequence[int] = (0,)
+    time_limit_per_task: float | None = None
+    max_dips_per_task: int | None = None
+    include_baseline: bool = False
+    verify_composition: bool = False
+    measure_resistance: bool = False
+
+    def __post_init__(self) -> None:
+        self.schemes = [normalize_axis(entry) for entry in self.schemes]
+        self.attacks = [normalize_axis(entry) for entry in self.attacks]
+        self.engines = list(self.engines)
+        self.circuits = list(self.circuits)
+        self.efforts = [int(n) for n in self.efforts]
+        self.seeds = [int(s) for s in self.seeds]
+        self.validate()
+
+    def validate(self) -> None:
+        """Resolve every axis name now, not inside worker processes."""
+        for name, _ in self.schemes:
+            scheme_info(name)  # raises with the roster on a miss
+        for name, _ in self.attacks:
+            attack_info(name)
+        for engine in self.engines:
+            if engine not in ENGINES:
+                known = ", ".join(ENGINES)
+                raise ValueError(
+                    f"unknown engine {engine!r} (known: {known})"
+                )
+        if not (self.schemes and self.attacks and self.engines
+                and self.circuits and self.efforts and self.seeds):
+            raise ValueError("every ScenarioSpec axis needs at least one entry")
+
+    def effective_engines(self, attack: str) -> list[str]:
+        """The engine axis after resolving ``attack``'s capabilities.
+
+        Attacks with a ``shard_fn`` keep the requested engines; the
+        rest always run the reference path, so the axis collapses to a
+        single ``"reference"`` entry — otherwise identical cells would
+        execute (and cache) twice under two engine labels.
+        """
+        if attack_info(attack).supports_shared_encoding:
+            return list(self.engines)
+        return ["reference"]
+
+    @property
+    def size(self) -> int:
+        """Number of grid cells this spec expands into."""
+        per_point = (
+            len(self.schemes)
+            * len(self.circuits)
+            * len(self.efforts)
+            * len(self.seeds)
+        )
+        return per_point * sum(
+            len(self.effective_engines(attack)) for attack, _ in self.attacks
+        )
+
+    def expand(self) -> list[TaskSpec]:
+        """The grid as one ``scenario_cell`` :class:`TaskSpec` per point."""
+        from repro.scenarios.matrix import scenario_cell_task
+
+        return [
+            scenario_cell_task(
+                scheme=scheme,
+                scheme_params=scheme_params,
+                attack=attack,
+                attack_params=attack_params,
+                engine=engine,
+                circuit=circuit,
+                scale=self.scale,
+                effort=effort,
+                seed=seed,
+                time_limit_per_task=self.time_limit_per_task,
+                max_dips_per_task=self.max_dips_per_task,
+                include_baseline=self.include_baseline,
+                verify=self.verify_composition,
+                measure_resistance=self.measure_resistance,
+            )
+            for scheme, scheme_params in self.schemes
+            for attack, attack_params in self.attacks
+            for engine in self.effective_engines(attack)
+            for circuit in self.circuits
+            for effort in self.efforts
+            for seed in self.seeds
+        ]
+
+    def describe(self) -> dict:
+        """JSON-shaped summary (embedded in matrix exports)."""
+        return {
+            "schemes": [[name, params] for name, params in self.schemes],
+            "attacks": [[name, params] for name, params in self.attacks],
+            "engines": list(self.engines),
+            "circuits": list(self.circuits),
+            "scale": self.scale,
+            "efforts": list(self.efforts),
+            "seeds": list(self.seeds),
+            "time_limit_per_task": self.time_limit_per_task,
+            "max_dips_per_task": self.max_dips_per_task,
+            "include_baseline": self.include_baseline,
+            "verify_composition": self.verify_composition,
+            "measure_resistance": self.measure_resistance,
+            "size": self.size,
+        }

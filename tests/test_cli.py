@@ -10,7 +10,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for cmd in ("figure1", "table1", "table2", "attack", "bench",
-                    "ablation", "defense", "cache"):
+                    "ablation", "defense", "cache", "matrix"):
             assert cmd in text
 
     def test_runner_flags_on_experiment_commands(self):
@@ -63,7 +63,7 @@ class TestCommands:
         assert main(argv) == 0
         warm = capsys.readouterr().out
         assert cold == warm
-        assert (tmp_path / "table1_cell").is_dir()
+        assert (tmp_path / "scenario_cell").is_dir()
 
     def test_defense_runs(self, capsys):
         assert main([
@@ -89,6 +89,66 @@ class TestCommands:
         not_a_dir.write_text("x")
         with pytest.raises(SystemExit, match="not a directory"):
             main(["figure1", "--cache-dir", str(not_a_dir), "--quiet"])
+
+    def test_matrix_list_rosters(self, capsys):
+        assert main(["matrix", "--list-schemes", "--list-attacks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sarlock", "xor", "lut", "antisat", "entangled"):
+            assert name in out
+        for name in ("sat", "appsat", "brute_force"):
+            assert name in out
+        assert "[shared-encoding]" in out
+
+    def test_matrix_small_grid_with_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "matrix.csv"
+        json_path = tmp_path / "matrix.json"
+        assert main([
+            "matrix", "--schemes", "sarlock,xor", "--attacks", "sat",
+            "--engines", "sharded,reference", "--circuits", "c432",
+            "--scale", "0.12", "--key-size", "3", "--efforts", "1",
+            "--no-cache", "--quiet",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario matrix: 4 cells" in out
+        assert csv_path.read_text().startswith("scheme,")
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert len(payload["cells"]) == 4
+
+    def test_matrix_unknown_scheme_is_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown locking scheme"):
+            main(["matrix", "--schemes", "nope", "--no-cache", "--quiet"])
+
+    def test_matrix_exits_nonzero_on_failed_cells(self, capsys):
+        # A 1-DIP budget cannot finish the attack: cells go partial and
+        # the exit code must say so (CI smoke relies on this).
+        assert main([
+            "matrix", "--schemes", "sarlock", "--attacks", "sat",
+            "--circuits", "c432", "--scale", "0.12", "--key-size", "4",
+            "--efforts", "1", "--max-dips", "1", "--no-cache", "--quiet",
+        ]) == 1
+        assert "partial" in capsys.readouterr().out
+
+    def test_matrix_scheme_param_error_is_clean(self):
+        # LockingError surfaces from the cell worker, not spec
+        # validation: an odd antisat key has no ka‖kb split.
+        with pytest.raises(SystemExit, match="even"):
+            main([
+                "matrix", "--schemes", "antisat", "--key-size", "3",
+                "--circuits", "c432", "--scale", "0.12", "--efforts", "1",
+                "--no-cache", "--quiet",
+            ])
+
+    def test_attack_scheme_errors_are_clean(self):
+        with pytest.raises(SystemExit, match="unknown locking scheme"):
+            main(["attack", "--scheme", "nope", "--scale", "0.12"])
+        with pytest.raises(SystemExit, match="even"):
+            main([
+                "attack", "--scheme", "antisat", "--key-size", "3",
+                "--circuit", "c432", "--scale", "0.12",
+            ])
 
     def test_attack_sarlock(self, capsys):
         code = main([
