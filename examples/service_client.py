@@ -1,0 +1,161 @@
+"""Drive a ``repro serve`` daemon over JSON lines, end to end.
+
+Launches the daemon as a subprocess (stdio transport), submits a
+scenario-matrix job and a Figure-1 experiment job *concurrently*, then
+— once the cold matrix finished — replays the same grid under a new
+job id to show the daemon's shared result cache serving it warm.
+Every streamed event is printed as it arrives and (optionally)
+appended to a JSONL event log — the artifact CI uploads next to the
+``BENCH_*.json`` trajectories.
+
+Usage::
+
+    python examples/service_client.py [key_size] [scale] [event_log]
+
+    key_size   SARLock/XOR key bits for the matrix cells (default 3)
+    scale      carrier-circuit scale factor (default 0.12)
+    event_log  path for the JSONL event log (default: no log)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def matrix_request(job_id: str, key_size: int, scale: float) -> dict:
+    """A 2-schemes x 2-engines grid (the CI smoke's 2x2 matrix)."""
+    return {
+        "schema_version": 1,
+        "kind": "matrix",
+        "id": job_id,
+        "schemes": [
+            ["sarlock", {"key_size": key_size}],
+            ["xor", {"key_size": key_size}],
+        ],
+        "attacks": ["sat"],
+        "engines": ["sharded", "reference"],
+        "circuits": ["c432"],
+        "scale": scale,
+        "efforts": [1],
+    }
+
+
+class DaemonClient:
+    """A minimal JSON-lines client around a ``repro serve`` subprocess."""
+
+    def __init__(self, cache_dir: str, log_path: Path | None) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--cache-dir", cache_dir],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self.log = log_path.open("w") if log_path else None
+        self.events: dict[str, list[dict]] = {}
+        self.responses: dict[str, dict] = {}
+
+    def send(self, envelope: dict) -> None:
+        self.proc.stdin.write(json.dumps(envelope) + "\n")
+        self.proc.stdin.flush()
+
+    def wait_for(self, job_ids: set[str]) -> None:
+        """Consume the stream until every named job has responded."""
+        while not job_ids <= set(self.responses):
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError("daemon closed the stream early")
+            if self.log:
+                self.log.write(line)
+            envelope = json.loads(line)
+            job_id = envelope.get("job_id", "")
+            if envelope["kind"] == "event":
+                self.events.setdefault(job_id, []).append(envelope)
+                print(f"[{job_id}] {envelope['type']}: {envelope['data']}")
+            elif envelope["kind"] == "response":
+                self.responses[job_id] = envelope
+                print(f"[{job_id}] response: status={envelope['status']}")
+
+    def shutdown(self) -> int:
+        self.send({"kind": "shutdown"})
+        self.proc.stdin.close()
+        code = self.proc.wait(timeout=120)
+        if self.log:
+            self.log.close()
+        return code
+
+
+def main(argv: list[str]) -> int:
+    key_size = int(argv[1]) if len(argv) > 1 else 3
+    scale = float(argv[2]) if len(argv) > 2 else 0.12
+    event_log = Path(argv[3]) if len(argv) > 3 else None
+
+    client = DaemonClient(
+        tempfile.mkdtemp(prefix="repro-serve-"), event_log
+    )
+    # Two jobs at once: the daemon multiplexes them over one service.
+    client.send(matrix_request("matrix-cold", key_size, scale))
+    client.send(
+        {
+            "schema_version": 1,
+            "kind": "experiment",
+            "id": "fig1",
+            "experiment": "figure1",
+            "params": {},
+        }
+    )
+    client.wait_for({"matrix-cold", "fig1"})
+    # Replay the identical grid: served warm from the shared cache.
+    client.send(matrix_request("matrix-warm", key_size, scale))
+    client.wait_for({"matrix-warm"})
+    code = client.shutdown()
+    if code != 0:
+        print(f"daemon exited with {code}", file=sys.stderr)
+        return 1
+
+    expected_cells = 2 * 2  # schemes x engines
+    for job_id in ("matrix-cold", "matrix-warm"):
+        cells = [
+            e for e in client.events[job_id] if e["type"] == "cell_done"
+        ]
+        assert len(cells) == expected_cells, (job_id, len(cells))
+        assert client.responses[job_id]["status"] == "ok"
+    assert all(
+        e["data"]["cached"]
+        for e in client.events["matrix-warm"]
+        if e["type"] == "cell_done"
+    ), "warm replay was not served from the shared cache"
+    assert client.responses["fig1"]["status"] == "ok"
+    assert (
+        client.responses["matrix-warm"]["result"]
+        == client.responses["matrix-cold"]["result"]
+    ), "warm replay diverged from the cold run"
+
+    print(
+        f"\n{len(client.responses)} jobs ok: {expected_cells} cells cold, "
+        f"{expected_cells} cells warm from the shared cache, "
+        f"figure1 alongside"
+    )
+    if event_log:
+        total = sum(len(events) for events in client.events.values())
+        print(
+            f"wrote {total} events + {len(client.responses)} responses "
+            f"to {event_log}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,7 +18,10 @@ The package provides, from the ground up:
   ``scheme x attack x engine x circuit`` grids under the multi-key
   premise,
 * :mod:`repro.experiments` — runners regenerating each paper table and
-  figure (thin scenario specs where the matrix covers them).
+  figure (thin scenario specs where the matrix covers them),
+* :mod:`repro.service` — the typed job API: versioned request/response
+  envelopes, streaming job events, and the ``repro serve`` JSON-lines
+  daemon the CLI is a thin client of.
 """
 
 __version__ = "1.0.0"

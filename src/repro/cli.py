@@ -1,6 +1,12 @@
 """Command-line interface: ``repro-lock`` (or ``python -m repro``).
 
-Subcommands map one-to-one onto the library's experiment runners::
+The CLI is a *thin client* over :mod:`repro.service`: every subcommand
+builds a typed request envelope, submits it through a
+:class:`~repro.service.Service`, renders the streamed events as
+progress lines on stderr, and prints the rendered response (or, with
+``--json``/``--envelope``, the raw response envelope) on stdout.
+``repro-lock serve`` runs the same machinery as a long-lived JSON-lines
+daemon.  Subcommands map one-to-one onto request envelopes::
 
     repro-lock figure1
     repro-lock table1 --key-sizes 4,8 --scale 0.2 --jobs 4
@@ -13,6 +19,8 @@ Subcommands map one-to-one onto the library's experiment runners::
     repro-lock matrix --list-schemes           # registry rosters
     repro-lock matrix --list-attacks
     repro-lock bench --circuit c7552 --scale 0.3 --out c7552.bench
+    repro-lock serve                           # JSON-lines daemon (stdio)
+    repro-lock serve --port 8642 --jobs 8      # ... or TCP
     repro-lock cache info
 
 ``attack``/``table1``/``table2`` pick the multi-key engine with
@@ -36,8 +44,12 @@ import argparse
 import sys
 
 
-def _parse_int_list(text: str) -> tuple[int, ...]:
-    return tuple(int(tok) for tok in text.split(",") if tok.strip())
+def _parse_int_list(text: str) -> list[int]:
+    return [int(tok) for tok in text.split(",") if tok.strip()]
+
+
+def _parse_str_list(text: str) -> list[str]:
+    return [tok.strip() for tok in text.split(",") if tok.strip()]
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +73,16 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_envelope_arg(
+    parser: argparse.ArgumentParser, *, alias_json: bool = True
+) -> None:
+    flags = ["--envelope"] + (["--json"] if alias_json else [])
+    parser.add_argument(
+        *flags, dest="envelope", action="store_true",
+        help="print the raw response envelope (JSON) instead of text",
+    )
+
+
 def _open_cache(cache_dir: str):
     from repro.runner import ResultCache
 
@@ -73,187 +95,160 @@ def _open_cache(cache_dir: str):
     return cache
 
 
-def _make_runner(args: argparse.Namespace):
-    from repro.runner import Runner, print_progress
+def _make_service(args: argparse.Namespace, inner_parallel: bool = False):
+    """The one place CLI runner flags become an execution Service."""
+    from repro.service import Service
 
     cache = None if args.no_cache else _open_cache(args.cache_dir)
-    progress = None if args.quiet else print_progress
-    return Runner(jobs=max(1, args.jobs), cache=cache, progress=progress)
+    return Service(
+        jobs=max(1, args.jobs), cache=cache, inner_parallel=inner_parallel
+    )
+
+
+def _submit(args: argparse.Namespace, request, inner_parallel: bool = False):
+    """Submit one envelope; stream progress; return the response.
+
+    Progress events render to stderr exactly as the classic
+    ``print_progress`` callback did (``--quiet`` silences them); error
+    responses become clean ``SystemExit``s.
+    """
+    from repro.service import render_event
+
+    service = _make_service(args, inner_parallel=inner_parallel)
+    job = service.submit(request)
+    quiet = getattr(args, "quiet", False)
+    for event in job.events():
+        if quiet:
+            continue
+        line = render_event(event)
+        if line is not None:
+            print(line, file=sys.stderr, flush=True)
+    response = job.result()
+    if response.status == "error":
+        raise SystemExit(f"repro-lock: error: {response.error}")
+    return response
+
+
+def _emit(args: argparse.Namespace, response, verbose: bool = True) -> None:
+    """Print a response: raw envelope under ``--json``, else as text."""
+    from repro.service import render_response, to_json
+
+    if getattr(args, "envelope", False):
+        print(to_json(response))
+    else:
+        print(render_response(response, verbose=verbose))
+
+
+def _experiment_request(experiment: str, **params):
+    """Build an ExperimentRequest, mapping envelope errors to exits."""
+    from repro.service import ExperimentRequest
+
+    try:
+        return ExperimentRequest(experiment=experiment, params=params)
+    except ValueError as error:
+        raise SystemExit(f"repro-lock: error: {error}")
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    from repro.experiments.figure1 import run_figure1
-
-    result = run_figure1(correct_key=args.key, runner=_make_runner(args))
-    print(result.format())
+    request = _experiment_request("figure1", correct_key=args.key)
+    _emit(args, _submit(args, request))
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    from repro.experiments.table1 import run_table1
-
-    result = run_table1(
+    request = _experiment_request(
+        "table1",
         key_sizes=_parse_int_list(args.key_sizes),
         efforts=_parse_int_list(args.efforts),
         scale=args.scale,
         time_limit_per_task=args.time_limit,
         parallel=args.parallel,
-        runner=_make_runner(args),
         engine=args.engine,
     )
-    print(result.format())
+    _emit(args, _submit(args, request))
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from repro.experiments.table2 import TABLE2_CIRCUITS, run_table2
-    from repro.locking.lut_lock import LutModuleSpec
+    from repro.experiments.table2 import TABLE2_CIRCUITS
 
     circuits = (
-        tuple(args.circuits.split(",")) if args.circuits else TABLE2_CIRCUITS
+        _parse_str_list(args.circuits) if args.circuits
+        else list(TABLE2_CIRCUITS)
     )
-    spec = LutModuleSpec.by_name(args.spec)
-    result = run_table2(
+    request = _experiment_request(
+        "table2",
         circuits=circuits,
         scale=args.scale,
-        spec=spec,
+        spec=args.spec,
         time_limit_per_task=args.time_limit,
         parallel=not args.sequential,
         verify=not args.no_verify,
-        runner=_make_runner(args),
         engine=args.engine,
     )
-    print(result.format())
+    _emit(args, _submit(args, request))
     return 0
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    runner = _make_runner(args)
     if args.which in ("splitting", "both"):
-        from repro.experiments.ablation_splitting import run_splitting_ablation
-
-        print(run_splitting_ablation(scale=args.scale, runner=runner).format())
+        request = _experiment_request("ablation_splitting", scale=args.scale)
+        _emit(args, _submit(args, request))
     if args.which in ("synthesis", "both"):
-        from repro.experiments.ablation_synthesis import run_synthesis_ablation
-
-        print(run_synthesis_ablation(scale=args.scale, runner=runner).format())
+        request = _experiment_request("ablation_synthesis", scale=args.scale)
+        _emit(args, _submit(args, request))
     return 0
 
 
 def _cmd_defense(args: argparse.Namespace) -> int:
-    from repro.experiments.defense import run_defense_experiment
-
-    result = run_defense_experiment(
+    request = _experiment_request(
+        "defense",
         circuit=args.circuit,
         scale=args.scale,
         key_size=args.key_size,
         effort=args.effort,
         time_limit_per_task=args.time_limit,
-        runner=_make_runner(args),
     )
-    print(result.format())
+    _emit(args, _submit(args, request))
     return 0
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
-    from repro.bench_circuits.iscas85 import iscas85_like
-    from repro.core.compose import verify_composition
-    from repro.core.multikey import multikey_attack
-    from repro.locking.base import LockingError
-    from repro.locking.registry import lock_circuit
+    from repro.service import AttackRequest
 
-    original = iscas85_like(args.circuit, args.scale)
-    try:
-        if args.scheme == "lut":
-            locked = lock_circuit(
-                "lut", original, spec=args.lut_spec, seed=args.seed
-            )
-        else:
-            locked = lock_circuit(
-                args.scheme, original, key_size=args.key_size, seed=args.seed
-            )
-    except (ValueError, LockingError) as error:
-        raise SystemExit(f"repro-lock: error: {error}")
     if args.sharded and args.engine == "reference":
         raise SystemExit(
             "repro-lock: error: --sharded contradicts --engine reference"
         )
-    engine = "sharded" if args.sharded else args.engine
-    print(f"locked: {locked}")
-
-    runner = None
-    if engine == "sharded" and args.parallel:
-        # Stream each chunk's partial-key results as it lands.
+    if args.scheme == "lut":
+        scheme_params = {"spec": args.lut_spec, "seed": args.seed}
+    else:
+        scheme_params = {"key_size": args.key_size, "seed": args.seed}
+    if args.parallel and args.jobs <= 1:
+        # The classic `attack --parallel` shape: this one-shot service
+        # gets a machine-wide budget (a daemon keeps whatever --jobs
+        # it was started with — parallel attacks stay inside it).
         import multiprocessing
 
-        from repro.runner import Runner, print_progress
-
-        runner = Runner(
-            jobs=multiprocessing.cpu_count(),
-            progress=None if args.quiet else print_progress,
-        )
-
+        args.jobs = multiprocessing.cpu_count()
     try:
-        result = multikey_attack(
-            locked,
-            original,
-            effort=args.effort,
-            parallel=args.parallel,
-            time_limit_per_task=args.time_limit,
-            engine=engine,
+        request = AttackRequest(
+            circuit=args.circuit,
+            scheme=args.scheme,
+            scheme_params=scheme_params,
             attack=args.attack,
-            runner=runner,
+            engine="sharded" if args.sharded else args.engine,
+            effort=args.effort,
+            scale=args.scale,
+            seed=args.seed,
+            time_limit_per_task=args.time_limit,
+            parallel=args.parallel,
         )
     except ValueError as error:
         raise SystemExit(f"repro-lock: error: {error}")
-    print(
-        f"engine={result.engine} attack={result.attack} status={result.status} "
-        f"splitting={result.splitting_inputs} dips/task={result.dips_per_task}"
-    )
-    print(
-        f"max task {result.max_subtask_seconds:.2f}s, "
-        f"mean {result.mean_subtask_seconds:.2f}s, "
-        f"wall {result.wall_seconds:.2f}s"
-        + (
-            f" (one-time encode {result.encode_seconds:.2f}s)"
-            if result.engine == "sharded"
-            else ""
-        )
-    )
-    if not args.quiet:
-        stats = result.solver_stats
-        if stats:
-            print(
-                "solver totals: "
-                f"{stats.get('conflicts', 0)} conflicts, "
-                f"{stats.get('decisions', 0)} decisions, "
-                f"{stats.get('learned', 0)} learned clauses"
-            )
-            for task in result.subtasks:
-                s = task.solver_stats
-                print(
-                    f"  shard {task.index}: #DIP={task.num_dips} "
-                    f"conflicts={s.get('conflicts', 0)} "
-                    f"decisions={s.get('decisions', 0)} "
-                    f"learned={s.get('learned', 0)} "
-                    f"t={task.total_seconds:.2f}s"
-                )
-    exact = result.status == "ok" and all(
-        task.status == "ok" for task in result.subtasks
-    )
-    if exact:
-        equivalent = verify_composition(
-            locked, result.splitting_inputs, result.keys, original
-        )
-        print(f"multi-key composition equivalent: {bool(equivalent)}")
-    elif result.status == "ok":
-        # Settled (approximate) keys cannot pass CEC by design.
-        print("multi-key composition: skipped (approximate sub-space keys)")
-    return 0 if result.status == "ok" else 1
-
-
-def _parse_str_list(text: str) -> tuple[str, ...]:
-    return tuple(tok.strip() for tok in text.split(",") if tok.strip())
+    response = _submit(args, request)
+    _emit(args, response, verbose=not args.quiet)
+    return 0 if response.status == "ok" else 1
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
@@ -275,18 +270,17 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
     from pathlib import Path
 
-    from repro.locking.base import LockingError
-    from repro.scenarios import ScenarioSpec, run_matrix
+    from repro.service import MatrixRequest
 
-    def scheme_axis(name: str) -> tuple[str, dict]:
+    def scheme_axis(name: str) -> list:
         # The LUT module's key width comes from its spec, every other
         # registered scheme takes --key-size directly.
         if name == "lut":
-            return name, {"spec": args.lut_spec}
-        return name, {"key_size": args.key_size}
+            return [name, {"spec": args.lut_spec}]
+        return [name, {"key_size": args.key_size}]
 
     try:
-        spec = ScenarioSpec(
+        request = MatrixRequest(
             schemes=[scheme_axis(name) for name in _parse_str_list(args.schemes)],
             attacks=_parse_str_list(args.attacks),
             engines=_parse_str_list(args.engines),
@@ -301,41 +295,62 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         raise SystemExit(f"repro-lock: error: {error}")
-    try:
-        result = run_matrix(
-            spec, runner=_make_runner(args), inner_parallel=args.parallel
-        )
-    except (ValueError, LockingError) as error:
-        # Scheme/attack errors surface here when a cell worker rejects
-        # its params (e.g. an odd antisat key size).
-        raise SystemExit(f"repro-lock: error: {error}")
-    print(result.format())
-    if args.csv:
-        Path(args.csv).write_text(result.to_csv())
-        print(f"wrote {len(result.cells)} cells to {args.csv}")
-    if args.json:
-        Path(args.json).write_text(result.to_json())
-        print(f"wrote {len(result.cells)} cells to {args.json}")
+    response = _submit(args, request, inner_parallel=args.parallel)
+    _emit(args, response)
+
+    if (args.csv or args.json) and "cells" in (response.result or {}):
+        from repro.scenarios.matrix import MatrixResult
+
+        result = MatrixResult.from_payload(response.result)
+        if args.csv:
+            Path(args.csv).write_text(result.to_csv())
+            print(f"wrote {len(result.cells)} cells to {args.csv}")
+        if args.json:
+            Path(args.json).write_text(result.to_json())
+            print(f"wrote {len(result.cells)} cells to {args.json}")
     # Like `attack`: exit nonzero when any cell failed, so CI smoke
     # runs catch partial/timeout cells and CEC failures, not just
     # crashes.
-    failed = any(
-        cell.status != "ok" or cell.composition_equivalent is False
-        for cell in result.cells
-    )
-    return 1 if failed else 0
+    return 0 if response.status == "ok" else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench_circuits.iscas85 import iscas85_like
-    from repro.circuit.bench import format_bench, write_bench_file
+    from repro.service import BenchRequest
 
-    netlist = iscas85_like(args.circuit, args.scale)
+    try:
+        request = BenchRequest(circuit=args.circuit, scale=args.scale)
+    except ValueError as error:
+        raise SystemExit(f"repro-lock: error: {error}")
+    response = _submit(args, request)
     if args.out:
-        write_bench_file(netlist, args.out)
-        print(f"wrote {netlist} to {args.out}")
+        # --out always writes, whatever lands on stdout below.
+        with open(args.out, "w") as handle:
+            handle.write(response.result["text"])
+    if getattr(args, "envelope", False):
+        _emit(args, response)
+    elif args.out:
+        print(f"wrote {response.result['name']} to {args.out}")
     else:
-        print(format_bench(netlist), end="")
+        print(response.result["text"], end="")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import create_tcp_server, serve_stdio
+
+    service = _make_service(args)
+    if args.port is not None:
+        server = create_tcp_server(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(f"repro-lock serve: listening on {host}:{port}", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+    else:
+        serve_stdio(service)
     return 0
 
 
@@ -365,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure1", help="regenerate Fig. 1(a)/(b)")
     p.add_argument("--key", type=lambda s: int(s, 0), default=0b101)
     _add_runner_args(p)
+    _add_envelope_arg(p)
     p.set_defaults(func=_cmd_figure1)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (#DIP vs N)")
@@ -378,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-key engine (default: sharded)",
     )
     _add_runner_args(p)
+    _add_envelope_arg(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="regenerate Table 2 (LUT runtimes)")
@@ -392,12 +409,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-key engine for the N>0 arm (default: sharded)",
     )
     _add_runner_args(p)
+    _add_envelope_arg(p)
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("ablation", help="run the A1/A2 ablations")
     p.add_argument("which", choices=("splitting", "synthesis", "both"))
     p.add_argument("--scale", type=float, default=0.3)
     _add_runner_args(p)
+    _add_envelope_arg(p)
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser("defense", help="run the D1 countermeasure experiment")
@@ -407,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-N", "--effort", type=int, default=3)
     p.add_argument("--time-limit", type=float, default=300.0)
     _add_runner_args(p)
+    _add_envelope_arg(p)
     p.set_defaults(func=_cmd_defense)
 
     p = sub.add_parser("attack", help="lock a benchmark and attack it")
@@ -437,10 +457,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--sharded", action="store_true",
         help="shorthand for --engine sharded",
     )
-    p.add_argument(
-        "--quiet", action="store_true",
-        help="suppress per-shard solver statistics",
-    )
+    _add_runner_args(p)
+    _add_envelope_arg(p)
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser(
@@ -493,13 +511,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the attack registry and exit",
     )
     _add_runner_args(p)
+    _add_envelope_arg(p, alias_json=False)
     p.set_defaults(func=_cmd_matrix)
 
     p = sub.add_parser("bench", help="emit an ISCAS-class stand-in as .bench")
     p.add_argument("--circuit", default="c7552")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--out", default="")
+    _add_runner_args(p)
+    _add_envelope_arg(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the JSON-lines job daemon (stdio, or TCP with --port)",
+    )
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="listen on TCP instead of stdio (0 picks a free port)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    _add_runner_args(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("info", "clear"))

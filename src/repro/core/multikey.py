@@ -31,7 +31,7 @@ time-intensive sub-task"*.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from statistics import fmean
 
 from repro.attacks.registry import SUCCESS_STATUSES, attack_info, run_attack
@@ -89,6 +89,11 @@ class SubTaskResult:
     def total_seconds(self) -> float:
         """Attack plus synthesis time — the sub-task's full cost."""
         return self.elapsed_seconds + self.synthesis_seconds
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SubTaskResult":
+        """Rebuild from ``asdict`` output (a JSON round trip is lossless)."""
+        return cls(**payload)
 
 
 @dataclass
@@ -192,6 +197,25 @@ class MultiKeyResult:
                 else:
                     totals[name] = totals.get(name, 0) + value
         return totals
+
+    def to_payload(self) -> dict:
+        """The result as one JSON-shaped dict (the service's wire form)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MultiKeyResult":
+        """Rebuild from :meth:`to_payload` output.
+
+        The round trip is lossless: every derived metric (``status``,
+        ``max_subtask_seconds``, ``solver_stats`` aggregation, ...) is
+        a property over the stored fields, so a result reconstructed
+        from a daemon response reports identical numbers.
+        """
+        data = dict(payload)
+        data["subtasks"] = [
+            SubTaskResult.from_payload(task) for task in data["subtasks"]
+        ]
+        return cls(**data)
 
 
 def _run_subtask(payload: tuple) -> SubTaskResult:

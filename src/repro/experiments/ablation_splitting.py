@@ -38,6 +38,13 @@ class SplittingAblationResult:
     effort: int
     rows: list[AblationRow] = field(default_factory=list)
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SplittingAblationResult":
+        """Rebuild from ``asdict`` output (a JSON round trip is lossless)."""
+        data = dict(payload)
+        data["rows"] = [AblationRow(**row) for row in data.get("rows", [])]
+        return cls(**data)
+
     def format(self) -> str:
         headers = [
             "Selection",

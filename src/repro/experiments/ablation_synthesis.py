@@ -39,6 +39,15 @@ class SynthesisAblationResult:
     effort: int
     rows: list[SynthesisAblationRow] = field(default_factory=list)
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SynthesisAblationResult":
+        """Rebuild from ``asdict`` output (a JSON round trip is lossless)."""
+        data = dict(payload)
+        data["rows"] = [
+            SynthesisAblationRow(**row) for row in data.get("rows", [])
+        ]
+        return cls(**data)
+
     def format(self) -> str:
         headers = [
             "Cond. synthesis",

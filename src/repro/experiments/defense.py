@@ -45,6 +45,13 @@ class DefenseResult:
     effort: int
     rows: list[DefenseRow] = field(default_factory=list)
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DefenseResult":
+        """Rebuild from ``asdict`` output (a JSON round trip is lossless)."""
+        data = dict(payload)
+        data["rows"] = [DefenseRow(**row) for row in data.get("rows", [])]
+        return cls(**data)
+
     def format(self) -> str:
         headers = [
             "Scheme",

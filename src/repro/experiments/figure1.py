@@ -52,6 +52,14 @@ class Figure1Result:
     incorrect_pair: tuple[int, int] | None = None
     incorrect_pair_equivalent: bool | None = None
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Figure1Result":
+        """Rebuild from ``asdict`` output (JSON turns the pair into a list)."""
+        data = dict(payload)
+        if data.get("incorrect_pair") is not None:
+            data["incorrect_pair"] = tuple(data["incorrect_pair"])
+        return cls(**data)
+
     def format(self) -> str:
         lines = [
             "Figure 1(a): error distribution (rows = inputs, cols = keys; "
@@ -106,10 +114,7 @@ def run_figure1(
     """
     runner = runner or Runner()
     [task] = runner.run([figure1_task(correct_key)])
-    data = dict(task.artifact)
-    if data.get("incorrect_pair") is not None:
-        data["incorrect_pair"] = tuple(data["incorrect_pair"])
-    return Figure1Result(**data)
+    return Figure1Result.from_payload(task.artifact)
 
 
 def _compute_figure1(correct_key: int) -> Figure1Result:

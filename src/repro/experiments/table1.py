@@ -50,6 +50,13 @@ class Table1Result:
                 return entry
         raise KeyError((key_size, effort))
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Table1Result":
+        """Rebuild from ``asdict`` output (a JSON round trip is lossless)."""
+        data = dict(payload)
+        data["cells"] = [Table1Cell(**cell) for cell in data.get("cells", [])]
+        return cls(**data)
+
     def format(self) -> str:
         headers = ["|K|"] + [
             f"N={n}" + (" (baseline)" if n == 0 else "") for n in self.efforts

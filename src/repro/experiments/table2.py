@@ -60,6 +60,14 @@ class Table2Result:
     spec: LutModuleSpec
     rows: list[Table2Row] = field(default_factory=list)
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Table2Result":
+        """Rebuild from ``asdict`` output (a JSON round trip is lossless)."""
+        data = dict(payload)
+        data["spec"] = LutModuleSpec(**data["spec"])
+        data["rows"] = [Table2Row(**row) for row in data.get("rows", [])]
+        return cls(**data)
+
     def format(self) -> str:
         headers = [
             "Circuit",

@@ -17,7 +17,13 @@ Typical use::
 """
 
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
-from repro.runner.executor import Runner, chunk_evenly, map_parallel, print_progress
+from repro.runner.executor import (
+    Runner,
+    chunk_evenly,
+    map_parallel,
+    print_progress,
+    progress_line,
+)
 from repro.runner.task import (
     CACHE_FORMAT_VERSION,
     TaskResult,
@@ -40,6 +46,7 @@ __all__ = [
     "default_cache_dir",
     "map_parallel",
     "print_progress",
+    "progress_line",
     "register_task",
     "registered_kinds",
     "task_worker",

@@ -4,8 +4,15 @@
 work through.  It checks the :class:`~repro.runner.cache.ResultCache`
 first, fans cache misses out over a ``ProcessPoolExecutor`` (``jobs``
 workers), stores fresh artifacts back, and reports per-task progress
-and timing.  Results always come back in submission order regardless
-of completion order, so driver output is independent of scheduling.
+and timing.  :meth:`Runner.run_iter` streams ``(index, result)`` pairs
+as tasks complete; :meth:`Runner.run` collects them back into
+submission order, so driver output is independent of scheduling.
+
+Two optional hooks feed the service layer's event stream
+(:mod:`repro.service`): ``on_dispatch`` fires when a cache miss starts
+executing, ``progress`` when any task (cached or fresh) completes.
+``should_stop`` is polled between completions for cooperative
+cancellation — a stopped run returns the results it already has.
 
 :func:`map_parallel` is the lower-level pool primitive, also used by
 :func:`repro.core.multikey.multikey_attack` for its ``2^N`` sub-tasks
@@ -15,8 +22,9 @@ of completion order, so driver output is independent of scheduling.
 from __future__ import annotations
 
 import sys
+import threading
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import TypeVar
@@ -29,6 +37,12 @@ _R = TypeVar("_R")
 
 #: Progress callback: (result, completed_count, total_count).
 ProgressFn = Callable[[TaskResult, int, int], None]
+
+#: Dispatch callback: (spec, submission_index), when execution starts.
+DispatchFn = Callable[[TaskSpec, int], None]
+
+#: How often (seconds) a pooled run polls ``should_stop`` while waiting.
+_STOP_POLL_SECONDS = 0.1
 
 
 def map_parallel(
@@ -81,15 +95,31 @@ def _invoke(fn: Callable[[dict], dict], params: dict) -> tuple[dict, float]:
     return artifact, time.perf_counter() - start
 
 
+def progress_line(
+    describe: str, cached: bool, elapsed_seconds: float, done: int, total: int
+) -> str:
+    """The canonical one-line rendering of a finished task.
+
+    Shared by :func:`print_progress` (the classic stderr callback) and
+    the service layer's event renderer
+    (:func:`repro.service.render.render_event`), so CLI progress lines
+    and daemon-streamed ``cell_done`` events are formatted by exactly
+    one piece of code.
+    """
+    status = "cached" if cached else f"{elapsed_seconds:.2f}s"
+    return f"[{done}/{total}] {describe}: {status}"
+
+
 def print_progress(result: TaskResult, done: int, total: int) -> None:
     """Default progress reporter (stderr, one line per finished task)."""
-    status = (
-        "cached"
-        if result.cached
-        else f"{result.elapsed_seconds:.2f}s"
-    )
     print(
-        f"[{done}/{total}] {result.spec.describe()}: {status}",
+        progress_line(
+            result.spec.describe(),
+            result.cached,
+            result.elapsed_seconds,
+            done,
+            total,
+        ),
         file=sys.stderr,
         flush=True,
     )
@@ -104,11 +134,26 @@ class Runner:
         cache: Artifact store; ``None`` disables caching entirely.
         progress: Per-task completion callback (e.g.
             :func:`print_progress`); ``None`` is silent.
+        on_dispatch: Called with ``(spec, index)`` when a cache miss
+            starts executing (cached tasks never dispatch).  The
+            service layer turns this into ``cell_started`` events.
+        should_stop: Polled between task completions; returning
+            ``True`` cancels anything not yet running and ends the run
+            early with whatever already finished (cooperative
+            cancellation — a task in flight is never interrupted).
+        slots: Optional semaphore bounding how many tasks execute at
+            once *across runners*.  Each task acquires a slot before it
+            runs (in-process or on the pool) and releases it on
+            completion, which is how concurrent service jobs share one
+            worker budget instead of multiplying pools.
     """
 
     jobs: int = 1
     cache: ResultCache | None = None
     progress: ProgressFn | None = None
+    on_dispatch: DispatchFn | None = None
+    should_stop: Callable[[], bool] | None = None
+    slots: threading.Semaphore | None = None
 
     def pending_count(self, specs: Sequence[TaskSpec]) -> int:
         """How many of ``specs`` would actually execute (cache misses).
@@ -122,13 +167,34 @@ class Runner:
         return sum(1 for spec in specs if not self.cache.contains(spec))
 
     def run(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
-        """Execute ``specs``; results in submission order."""
+        """Execute ``specs``; results in submission order.
+
+        A cancelled run (``should_stop``) returns only the results that
+        completed, still in submission order.
+        """
+        results: list[TaskResult | None] = [None] * len(specs)
+        for index, result in self.run_iter(specs):
+            results[index] = result
+        return [result for result in results if result is not None]
+
+    def run_iter(
+        self, specs: Sequence[TaskSpec]
+    ) -> Iterator[tuple[int, TaskResult]]:
+        """Execute ``specs``, yielding ``(index, result)`` as they finish.
+
+        Cache hits come first (in submission order, without
+        dispatching); misses follow in completion order.  ``progress``
+        fires exactly once per yielded result, before the yield, so
+        callback-driven consumers and iterator-driven consumers observe
+        the same sequence.
+        """
         total = len(specs)
-        results: list[TaskResult | None] = [None] * total
         done = 0
         pending: list[tuple[int, TaskSpec]] = []
 
         for index, spec in enumerate(specs):
+            if self._stopped():
+                return
             entry = self.cache.load(spec) if self.cache else None
             if entry is not None:
                 result = TaskResult(
@@ -136,71 +202,154 @@ class Runner:
                     artifact=entry["artifact"],
                     elapsed_seconds=float(entry.get("elapsed_seconds", 0.0)),
                     cached=True,
+                    index=index,
                 )
-                results[index] = result
                 done += 1
                 if self.progress:
                     self.progress(result, done, total)
+                yield index, result
             else:
                 pending.append((index, spec))
 
         if self.jobs > 1 and len(pending) > 1:
-            done = self._run_pool(pending, results, done, total)
+            yield from self._iter_pool(pending, done, total)
         else:
             for index, spec in pending:
-                artifact, elapsed = _invoke(
-                    task_worker(spec.kind), spec.worker_params
+                if self._stopped() or not self._acquire_slot():
+                    return
+                try:
+                    if self.on_dispatch:
+                        self.on_dispatch(spec, index)
+                    artifact, elapsed = _invoke(
+                        task_worker(spec.kind), spec.worker_params
+                    )
+                finally:
+                    self._release_slot()
+                done += 1
+                yield index, self._finish(
+                    index, spec, artifact, elapsed, done, total
                 )
-                done = self._finish(
-                    results, index, spec, artifact, elapsed, done, total
-                )
-        return [result for result in results if result is not None]
 
-    def _run_pool(
+    def _stopped(self) -> bool:
+        return self.should_stop is not None and self.should_stop()
+
+    def _acquire_slot(self) -> bool:
+        """Take one shared execution slot (False: stopped while waiting)."""
+        if self.slots is None:
+            return True
+        while not self.slots.acquire(timeout=_STOP_POLL_SECONDS):
+            if self._stopped():
+                return False
+        return True
+
+    def _release_slot(self) -> None:
+        if self.slots is not None:
+            self.slots.release()
+
+    def _iter_pool(
         self,
         pending: list[tuple[int, TaskSpec]],
-        results: list[TaskResult | None],
         done: int,
         total: int,
-    ) -> int:
+    ) -> Iterator[tuple[int, TaskResult]]:
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _invoke, task_worker(spec.kind), spec.worker_params
-                ): (index, spec)
-                for index, spec in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    index, spec = futures[future]
-                    artifact, elapsed = future.result()
-                    done = self._finish(
-                        results, index, spec, artifact, elapsed, done, total
+            futures = {}
+            outstanding = set()
+            queue = iter(pending)
+            waiting = next(queue, None)
+            stopping = False
+            try:
+                while waiting is not None or outstanding:
+                    if not stopping and self._stopped():
+                        # Cooperative stop: drop queued futures but
+                        # keep draining the ones already on a worker —
+                        # the pool shutdown waits for them anyway, so
+                        # their results must be cached and yielded,
+                        # not discarded ("anything already running
+                        # completes and is kept").
+                        stopping = True
+                        waiting = None
+                        outstanding = {
+                            future
+                            for future in outstanding
+                            if not future.cancel()
+                        }
+                        if not outstanding:
+                            break
+                    # Top up: submit while shared slots are available.
+                    # Each in-flight task holds one slot, released by
+                    # its done callback (so this never deadlocks on
+                    # our own completed-but-unprocessed work).
+                    while waiting is not None:
+                        if self.slots is not None and not self.slots.acquire(
+                            blocking=False
+                        ):
+                            break
+                        index, spec = waiting
+                        future = pool.submit(
+                            _invoke, task_worker(spec.kind), spec.worker_params
+                        )
+                        if self.slots is not None:
+                            future.add_done_callback(
+                                lambda _f: self._release_slot()
+                            )
+                        futures[future] = (index, spec)
+                        outstanding.add(future)
+                        if self.on_dispatch:
+                            self.on_dispatch(spec, index)
+                        waiting = next(queue, None)
+                    if not outstanding:
+                        # Every slot is held by other runners; idle a
+                        # tick and retry (polling should_stop).
+                        time.sleep(_STOP_POLL_SECONDS)
+                        continue
+                    # A finite timeout keeps the loop responsive to
+                    # cancellation and to slots freed by other runners.
+                    timeout = (
+                        _STOP_POLL_SECONDS
+                        if (self.should_stop or waiting is not None
+                            or self.slots is not None)
+                        else None
                     )
-        return done
+                    finished, outstanding = wait(
+                        outstanding,
+                        timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in finished:
+                        index, spec = futures[future]
+                        artifact, elapsed = future.result()
+                        done += 1
+                        yield index, self._finish(
+                            index, spec, artifact, elapsed, done, total
+                        )
+            finally:
+                # Early exit (cancel or a closed consumer): drop queued
+                # work so the with-block shutdown only waits for tasks
+                # already on a worker.  Cancelled futures still run
+                # their done callbacks, so held slots are returned.
+                for future in outstanding:
+                    future.cancel()
 
     def _finish(
         self,
-        results: list[TaskResult | None],
         index: int,
         spec: TaskSpec,
         artifact: dict,
         elapsed: float,
         done: int,
         total: int,
-    ) -> int:
+    ) -> TaskResult:
         if self.cache is not None:
             self.cache.store(spec, artifact, elapsed)
         result = TaskResult(
-            spec=spec, artifact=artifact, elapsed_seconds=elapsed, cached=False
+            spec=spec,
+            artifact=artifact,
+            elapsed_seconds=elapsed,
+            cached=False,
+            index=index,
         )
-        results[index] = result
-        done += 1
         if self.progress:
             self.progress(result, done, total)
-        return done
+        return result

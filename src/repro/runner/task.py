@@ -84,13 +84,16 @@ class TaskResult:
 
     ``elapsed_seconds`` is the worker's compute time — for a cache hit
     it is the *original* compute time read back from the artifact, so
-    reports stay meaningful on warm runs.
+    reports stay meaningful on warm runs.  ``index`` is the task's
+    submission position within its run (set by the runner), which is
+    what lets streaming consumers pair completions with dispatches.
     """
 
     spec: TaskSpec
     artifact: dict
     elapsed_seconds: float
     cached: bool = False
+    index: int | None = None
 
 
 #: kind -> worker.  Workers are module-level callables taking the merged

@@ -296,15 +296,29 @@ class MatrixResult:
         )
         return format_table(headers, rows, title=title)
 
+    def to_payload(self) -> dict:
+        """The matrix as one JSON-shaped dict (spec summary + cells).
+
+        This is the service layer's response payload for matrix jobs;
+        :meth:`from_payload` inverts it, so a response envelope that
+        crossed a daemon socket reconstructs to an equal result.
+        """
+        return {
+            "spec": self.spec.describe(),
+            "cells": [asdict(cell) for cell in self.cells],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MatrixResult":
+        """Rebuild a matrix result from :meth:`to_payload` output."""
+        return cls(
+            spec=ScenarioSpec.from_payload(payload["spec"]),
+            cells=[ScenarioCell(**cell) for cell in payload["cells"]],
+        )
+
     def to_json(self) -> str:
         """The full matrix as JSON (spec summary + every cell)."""
-        return json.dumps(
-            {
-                "spec": self.spec.describe(),
-                "cells": [asdict(cell) for cell in self.cells],
-            },
-            indent=2,
-        ) + "\n"
+        return json.dumps(self.to_payload(), indent=2) + "\n"
 
     def to_csv(self) -> str:
         """The matrix as flat CSV (one row per cell)."""

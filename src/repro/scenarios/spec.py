@@ -173,6 +173,22 @@ class ScenarioSpec:
             for seed in self.seeds
         ]
 
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`describe` output (or any superset).
+
+        The inverse of :meth:`describe`: derived keys (``size``) and
+        unknown extras are ignored, so payloads decoded from older or
+        newer exports reconstruct as long as the axis fields are there.
+        """
+        known = {
+            "schemes", "attacks", "engines", "circuits", "scale",
+            "efforts", "seeds", "time_limit_per_task",
+            "max_dips_per_task", "include_baseline",
+            "verify_composition", "measure_resistance",
+        }
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
     def describe(self) -> dict:
         """JSON-shaped summary (embedded in matrix exports)."""
         return {

@@ -1,0 +1,337 @@
+"""Versioned request/response envelopes: the typed half of the API.
+
+Every way of asking this system for work — a scenario-matrix grid, a
+single multi-key attack, one of the paper's experiments, a benchmark
+emission — is a small dataclass here with ``to_json``/``from_json``
+and **fail-fast validation**: scheme, attack and engine names resolve
+against the live registries at construction time, so a typo raises
+with the roster before any job starts (and before a daemon accepts the
+request), never inside a worker process.
+
+The wire shape is one JSON object per envelope::
+
+    {"schema_version": 1, "kind": "matrix", "schemes": [["sarlock", {"key_size": 4}]], ...}
+    {"schema_version": 1, "kind": "response", "request_kind": "matrix", "status": "ok", ...}
+    {"schema_version": 1, "kind": "event", "type": "cell_done", ...}
+
+``schema_version`` is checked on decode: a payload from a different
+schema generation is rejected loudly (:class:`EnvelopeError`) instead
+of being half-understood.  Unknown *fields* are tolerated and ignored,
+so adding fields is forward-compatible without a version bump; bump
+:data:`SCHEMA_VERSION` only when existing fields change meaning.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, field, fields
+from typing import ClassVar
+
+from repro.scenarios.spec import ENGINES, ScenarioSpec, normalize_axis
+
+#: The envelope schema generation.  Decoders reject other versions.
+SCHEMA_VERSION = 1
+
+#: Terminal job statuses a Response may carry.
+RESPONSE_STATUSES = ("ok", "partial", "error", "cancelled")
+
+#: The experiments an ExperimentRequest may name (see
+#: repro.service.jobs for how each maps onto its driver).
+EXPERIMENTS = (
+    "figure1",
+    "table1",
+    "table2",
+    "ablation_splitting",
+    "ablation_synthesis",
+    "defense",
+)
+
+
+class EnvelopeError(ValueError):
+    """A payload that cannot be decoded into a valid envelope."""
+
+
+def _experiment_driver(name: str):
+    """Resolve an experiment name to its driver (lazy heavy imports)."""
+    from repro.experiments.ablation_splitting import run_splitting_ablation
+    from repro.experiments.ablation_synthesis import run_synthesis_ablation
+    from repro.experiments.defense import run_defense_experiment
+    from repro.experiments.figure1 import run_figure1
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+
+    drivers = {
+        "figure1": run_figure1,
+        "table1": run_table1,
+        "table2": run_table2,
+        "ablation_splitting": run_splitting_ablation,
+        "ablation_synthesis": run_synthesis_ablation,
+        "defense": run_defense_experiment,
+    }
+    return drivers[name]
+
+
+@dataclass
+class MatrixRequest:
+    """Evaluate a ``scheme x attack x engine x circuit`` scenario grid.
+
+    Mirrors :class:`repro.scenarios.ScenarioSpec` field-for-field, but
+    in a JSON-normal form: scheme/attack axes are ``[name, params]``
+    pairs (any :func:`~repro.scenarios.spec.normalize_axis` shape is
+    accepted on input).  ``to_spec()`` produces the validated spec.
+    """
+
+    kind: ClassVar[str] = "matrix"
+
+    schemes: list = field(default_factory=lambda: [["sarlock", {}]])
+    attacks: list = field(default_factory=lambda: [["sat", {}]])
+    engines: list = field(default_factory=lambda: ["sharded"])
+    circuits: list = field(default_factory=lambda: ["c432"])
+    scale: float = 0.25
+    efforts: list = field(default_factory=lambda: [1])
+    seeds: list = field(default_factory=lambda: [0])
+    time_limit_per_task: float | None = None
+    max_dips_per_task: int | None = None
+    include_baseline: bool = False
+    verify_composition: bool = False
+    measure_resistance: bool = False
+
+    def __post_init__(self) -> None:
+        self.schemes = [
+            [name, dict(params)]
+            for name, params in (normalize_axis(e) for e in self.schemes)
+        ]
+        self.attacks = [
+            [name, dict(params)]
+            for name, params in (normalize_axis(e) for e in self.attacks)
+        ]
+        self.engines = [str(e) for e in self.engines]
+        self.circuits = [str(c) for c in self.circuits]
+        self.scale = float(self.scale)
+        self.efforts = [int(n) for n in self.efforts]
+        self.seeds = [int(s) for s in self.seeds]
+        self.to_spec()  # fail-fast: registry + axis validation
+
+    def to_spec(self) -> ScenarioSpec:
+        """The validated :class:`ScenarioSpec` this request describes."""
+        return ScenarioSpec(
+            schemes=[tuple(entry) for entry in self.schemes],
+            attacks=[tuple(entry) for entry in self.attacks],
+            engines=self.engines,
+            circuits=self.circuits,
+            scale=self.scale,
+            efforts=self.efforts,
+            seeds=self.seeds,
+            time_limit_per_task=self.time_limit_per_task,
+            max_dips_per_task=self.max_dips_per_task,
+            include_baseline=self.include_baseline,
+            verify_composition=self.verify_composition,
+            measure_resistance=self.measure_resistance,
+        )
+
+
+@dataclass
+class AttackRequest:
+    """Lock one carrier circuit and run the multi-key attack on it.
+
+    The service-level twin of the CLI ``attack`` subcommand: scheme and
+    attack names resolve against the registries at construction.
+    """
+
+    kind: ClassVar[str] = "attack"
+
+    circuit: str = "c6288"
+    scheme: str = "sarlock"
+    scheme_params: dict = field(default_factory=dict)
+    attack: str = "sat"
+    attack_params: dict = field(default_factory=dict)
+    engine: str = "sharded"
+    effort: int = 2
+    scale: float = 0.25
+    seed: int = 0
+    time_limit_per_task: float | None = None
+    parallel: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.attacks.registry import attack_info
+        from repro.locking.registry import scheme_info
+
+        scheme_info(self.scheme)
+        attack_info(self.attack)
+        if self.engine not in ENGINES:
+            known = ", ".join(ENGINES)
+            raise EnvelopeError(
+                f"unknown engine {self.engine!r} (known: {known})"
+            )
+        self.scheme_params = dict(self.scheme_params)
+        self.attack_params = dict(self.attack_params)
+        self.effort = int(self.effort)
+        self.seed = int(self.seed)
+        self.scale = float(self.scale)
+        if self.effort < 0:
+            raise EnvelopeError("effort must be non-negative")
+        if self.scale <= 0:
+            raise EnvelopeError("scale must be positive")
+
+
+@dataclass
+class ExperimentRequest:
+    """Run one of the paper's experiment drivers.
+
+    ``experiment`` names a driver from :data:`EXPERIMENTS`; ``params``
+    are its keyword arguments (JSON values only — e.g. table2's
+    ``spec`` is a preset name or a plain dict, coerced by the job
+    executor).  Parameter *names* are validated against the driver's
+    signature here, so a misspelled knob fails before submission.
+    """
+
+    kind: ClassVar[str] = "experiment"
+
+    experiment: str = "figure1"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENTS:
+            known = ", ".join(EXPERIMENTS)
+            raise EnvelopeError(
+                f"unknown experiment {self.experiment!r} (known: {known})"
+            )
+        self.params = dict(self.params)
+        driver = _experiment_driver(self.experiment)
+        accepted = set(inspect.signature(driver).parameters) - {"runner"}
+        unknown = sorted(set(self.params) - accepted)
+        if unknown:
+            raise EnvelopeError(
+                f"experiment {self.experiment!r} does not accept "
+                f"{', '.join(unknown)} (accepted: {', '.join(sorted(accepted))})"
+            )
+
+
+@dataclass
+class BenchRequest:
+    """Emit an ISCAS-class stand-in circuit as ``.bench`` text."""
+
+    kind: ClassVar[str] = "bench"
+
+    circuit: str = "c7552"
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.scale = float(self.scale)
+        if not self.circuit:
+            raise EnvelopeError("bench request needs a circuit name")
+        if self.scale <= 0:
+            raise EnvelopeError("scale must be positive")
+
+
+@dataclass
+class Response:
+    """The terminal envelope of every job.
+
+    Attributes:
+        request_kind: The ``kind`` of the request that produced this
+            response (empty for protocol-level errors, e.g. a daemon
+            rejecting a malformed line).
+        status: One of :data:`RESPONSE_STATUSES`.
+        job_id: The job that produced it (empty outside job context).
+        result: Kind-specific JSON payload (see
+            :mod:`repro.service.render` for how each renders back to
+            the classic CLI text).
+        error: Human-readable failure description when ``status`` is
+            ``"error"``.
+    """
+
+    kind: ClassVar[str] = "response"
+
+    request_kind: str = ""
+    status: str = "ok"
+    job_id: str = ""
+    result: dict | None = None
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in RESPONSE_STATUSES:
+            known = ", ".join(RESPONSE_STATUSES)
+            raise EnvelopeError(
+                f"unknown response status {self.status!r} (known: {known})"
+            )
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "ok"
+
+
+#: Every request kind a daemon/service accepts, by wire name.
+REQUEST_KINDS = {
+    MatrixRequest.kind: MatrixRequest,
+    AttackRequest.kind: AttackRequest,
+    ExperimentRequest.kind: ExperimentRequest,
+    BenchRequest.kind: BenchRequest,
+}
+
+_ENVELOPE_KINDS = {**REQUEST_KINDS, Response.kind: Response}
+
+#: Union type for documentation purposes.
+Request = MatrixRequest | AttackRequest | ExperimentRequest | BenchRequest
+
+
+def to_dict(envelope) -> dict:
+    """The wire shape of any envelope (version + kind + fields)."""
+    payload = {"schema_version": SCHEMA_VERSION, "kind": envelope.kind}
+    payload.update(asdict(envelope))
+    return payload
+
+
+def to_json(envelope) -> str:
+    """One JSON line (sorted keys, so output is deterministic)."""
+    return json.dumps(to_dict(envelope), sort_keys=True)
+
+
+def from_dict(payload: Mapping):
+    """Decode a wire dict into its envelope (or :class:`Event`).
+
+    Raises :class:`EnvelopeError` for non-mappings, missing/mismatched
+    ``schema_version``, unknown ``kind`` or missing required fields;
+    registry validation errors (unknown scheme/attack names) propagate
+    as the registries' own ``ValueError`` with the roster attached.
+    Unknown fields are ignored.
+    """
+    if not isinstance(payload, Mapping):
+        raise EnvelopeError(
+            f"envelope must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise EnvelopeError(
+            f"unsupported schema_version {version!r} "
+            f"(this build speaks {SCHEMA_VERSION})"
+        )
+    kind = payload.get("kind")
+    if kind == "event":
+        from repro.service.events import Event
+
+        return Event.from_dict(dict(payload))
+    try:
+        cls = _ENVELOPE_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_ENVELOPE_KINDS) + ["event"])
+        raise EnvelopeError(
+            f"unknown envelope kind {kind!r} (known: {known})"
+        ) from None
+    names = {f.name for f in fields(cls)}
+    kwargs = {k: v for k, v in payload.items() if k in names}
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise EnvelopeError(f"bad {kind} envelope: {error}") from None
+
+
+def from_json(text: str):
+    """Decode one JSON line into its envelope (or :class:`Event`)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise EnvelopeError(f"envelope is not valid JSON: {error}") from None
+    return from_dict(payload)

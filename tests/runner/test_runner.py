@@ -33,6 +33,21 @@ def _double_task(params: dict) -> dict:
     return {"doubled": params["value"] * 2, "pid": os.getpid()}
 
 
+@register_task("_test_stamped_sleep")
+def _stamped_sleep_task(params: dict) -> dict:
+    """Test worker: sleeps briefly, logging timestamped enter/exit
+    marks so tests can measure execution overlap across runners."""
+    import time
+
+    log = params["log_file"]
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write(f"{time.monotonic():.6f} enter\n")
+    time.sleep(params["seconds"])
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write(f"{time.monotonic():.6f} exit\n")
+    return {"value": params["value"]}
+
+
 def _spec(value: int, log_file: str | None = None) -> TaskSpec:
     return TaskSpec(
         kind="_test_double",
@@ -255,3 +270,198 @@ class TestExperimentParity:
         warm = run_figure1(runner=Runner(cache=ResultCache(tmp_path)))
         assert cold == warm
         assert isinstance(warm.incorrect_pair, tuple)
+
+
+class TestRunIter:
+    """The streaming surface behind the service layer's event bridge."""
+
+    def test_yields_index_result_pairs_for_every_spec(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        specs = [_spec(v) for v in (1, 2, 3)]
+        pairs = list(runner.run_iter(specs))
+        assert sorted(index for index, _ in pairs) == [0, 1, 2]
+        by_index = dict(pairs)
+        assert [by_index[i].artifact["doubled"] for i in range(3)] == [2, 4, 6]
+
+    def test_run_is_run_iter_in_submission_order(self, tmp_path):
+        runner = Runner(cache=ResultCache(tmp_path))
+        specs = [_spec(v) for v in (5, 1, 9)]
+        results = runner.run(specs)
+        assert [r.artifact["doubled"] for r in results] == [10, 2, 18]
+
+    def test_cache_hits_stream_first_without_dispatch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(cache=cache).run([_spec(1)])
+        dispatched = []
+        runner = Runner(
+            cache=cache,
+            on_dispatch=lambda spec, index: dispatched.append(index),
+        )
+        pairs = list(runner.run_iter([_spec(2), _spec(1)]))
+        # The hit (index 1) streams before the miss executes ...
+        assert pairs[0][0] == 1 and pairs[0][1].cached
+        assert pairs[1][0] == 0 and not pairs[1][1].cached
+        # ... and only the miss dispatched.
+        assert dispatched == [0]
+
+    def test_on_dispatch_fires_per_miss_in_pool_mode(self):
+        dispatched = []
+        runner = Runner(
+            jobs=2, on_dispatch=lambda spec, index: dispatched.append(index)
+        )
+        results = runner.run([_spec(v) for v in (1, 2, 3)])
+        assert len(results) == 3
+        assert sorted(dispatched) == [0, 1, 2]
+
+    def test_progress_fires_before_each_yield(self):
+        order = []
+        runner = Runner(
+            progress=lambda result, done, total: order.append(("cb", done, total))
+        )
+        for index, _ in runner.run_iter([_spec(v) for v in (1, 2)]):
+            order.append(("yield", index))
+        assert order == [("cb", 1, 2), ("yield", 0), ("cb", 2, 2), ("yield", 1)]
+
+    def test_should_stop_before_start_runs_nothing(self):
+        runner = Runner(should_stop=lambda: True)
+        assert runner.run([_spec(1), _spec(2)]) == []
+
+    def test_should_stop_mid_run_keeps_finished_results(self):
+        stop = {"now": False}
+
+        def progress(result, done, total):
+            stop["now"] = True  # trip after the first completion
+
+        runner = Runner(progress=progress, should_stop=lambda: stop["now"])
+        results = runner.run([_spec(v) for v in (1, 2, 3)])
+        assert len(results) == 1
+        assert results[0].artifact["doubled"] == 2
+
+    def test_should_stop_mid_run_in_pool_mode(self, tmp_path):
+        stop = {"now": False}
+
+        def progress(result, done, total):
+            stop["now"] = True
+
+        runner = Runner(
+            jobs=2, progress=progress, should_stop=lambda: stop["now"]
+        )
+        results = runner.run([_spec(v) for v in range(8)])
+        # At least the first completion is kept; queued work was
+        # dropped once the stop tripped.
+        assert 1 <= len(results) < 8
+
+    def test_stopped_pool_run_still_caches_what_finished(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stop = {"now": False}
+
+        def progress(result, done, total):
+            stop["now"] = True
+
+        runner = Runner(
+            jobs=2, cache=cache, progress=progress,
+            should_stop=lambda: stop["now"],
+        )
+        finished = runner.run([_spec(v) for v in range(6)])
+        assert all(cache.contains(r.spec) for r in finished)
+
+
+class TestSharedSlots:
+    """The service-wide worker budget: one semaphore across runners."""
+
+    def test_serial_runs_in_two_threads_never_overlap_with_one_slot(
+        self, tmp_path
+    ):
+        import threading
+
+        log = tmp_path / "overlap.log"
+
+        specs = [
+            TaskSpec(
+                kind="_test_stamped_sleep",
+                params={"value": v, "seconds": 0.05},
+                context={"log_file": str(log)},
+            )
+            for v in range(3)
+        ]
+        slots = threading.Semaphore(1)
+        runners = [Runner(slots=slots), Runner(slots=slots)]
+        threads = [
+            threading.Thread(target=runner.run, args=(specs[i::2],))
+            for i, runner in enumerate(runners)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        events = []
+        for line in log.read_text().splitlines():
+            stamp, kind = line.split()
+            events.append((float(stamp), kind))
+        events.sort()
+        depth = 0
+        for _, kind in events:
+            depth += 1 if kind == "enter" else -1
+            assert depth <= 1, "two tasks executed concurrently despite 1 slot"
+        assert sum(kind == "enter" for _, kind in events) == 3
+
+    def test_pool_mode_bounds_inflight_tasks_to_slots(self, tmp_path):
+        import threading
+
+        log = tmp_path / "pool-overlap.log"
+        specs = [
+            TaskSpec(
+                kind="_test_stamped_sleep",
+                params={"value": v, "seconds": 0.05},
+                context={"log_file": str(log)},
+            )
+            for v in range(5)
+        ]
+        runner = Runner(jobs=4, slots=threading.Semaphore(2))
+        results = runner.run(specs)
+        assert len(results) == 5
+        events = sorted(
+            (float(line.split()[0]), line.split()[1])
+            for line in log.read_text().splitlines()
+        )
+        depth = 0
+        for _, kind in events:
+            depth += 1 if kind == "enter" else -1
+            assert depth <= 2, "more in-flight tasks than shared slots"
+
+    def test_results_carry_submission_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Runner(cache=cache).run([_spec(7)])
+        runner = Runner(cache=cache)
+        for index, result in runner.run_iter([_spec(8), _spec(7)]):
+            assert result.index == index
+
+
+class TestStopDrainsInflight:
+    def test_pool_stop_keeps_inflight_results_and_caches_them(self, tmp_path):
+        # Two workers, two tasks: both are on a worker when the first
+        # completion trips the stop, so BOTH results must come back
+        # (the pool shutdown waits for the second anyway) and both
+        # must land in the cache.
+        cache = ResultCache(tmp_path / "cache")
+        log = tmp_path / "drain.log"
+        stop = {"now": False}
+
+        def progress(result, done, total):
+            stop["now"] = True
+
+        specs = [
+            TaskSpec(
+                kind="_test_stamped_sleep",
+                params={"value": v, "seconds": 0.05},
+                context={"log_file": str(log)},
+            )
+            for v in range(2)
+        ]
+        runner = Runner(
+            jobs=2, cache=cache, progress=progress,
+            should_stop=lambda: stop["now"],
+        )
+        results = runner.run(specs)
+        assert len(results) == 2
+        assert all(cache.contains(r.spec) for r in results)

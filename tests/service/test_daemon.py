@@ -1,0 +1,178 @@
+"""Daemon smoke tests: JSON-lines protocol over TCP and stdio."""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.runner import ResultCache
+from repro.service import SCHEMA_VERSION, Service
+from repro.service.daemon import create_tcp_server
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def _matrix_request(job_id: str, seeds=(0,)) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "matrix",
+        "id": job_id,
+        "schemes": [["sarlock", {"key_size": 3}]],
+        "circuits": ["c432"],
+        "scale": 0.12,
+        "efforts": [1],
+        "seeds": list(seeds),
+    }
+
+
+@pytest.fixture
+def tcp_daemon(tmp_path):
+    """An in-process TCP daemon on an ephemeral port, shared cache."""
+    service = Service(cache=ResultCache(tmp_path / "daemon-cache"))
+    server = create_tcp_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def _talk(address, lines: list[dict], timeout: float = 120.0) -> list[dict]:
+    """Send JSON lines, close the write side, read every reply line."""
+    with socket.create_connection(address[:2], timeout=timeout) as conn:
+        with conn.makefile("rw", encoding="utf-8") as stream:
+            for line in lines:
+                stream.write(json.dumps(line) + "\n")
+            stream.flush()
+            conn.shutdown(socket.SHUT_WR)
+            return [json.loads(reply) for reply in stream]
+
+
+class TestTcpDaemon:
+    def test_single_job_streams_events_then_response(self, tcp_daemon):
+        replies = _talk(tcp_daemon.server_address, [_matrix_request("j1")])
+        kinds = [r["kind"] for r in replies]
+        assert kinds[-1] == "response"
+        events = [r for r in replies if r["kind"] == "event"]
+        assert [e["type"] for e in events][0] == "job_started"
+        assert [e["type"] for e in events][-1] == "job_done"
+        assert sum(e["type"] == "cell_done" for e in events) == 1
+        response = replies[-1]
+        assert response["status"] == "ok"
+        assert response["job_id"] == "j1"
+        assert response["schema_version"] == SCHEMA_VERSION
+
+    def test_two_concurrent_jobs_share_one_cache(self, tcp_daemon):
+        # Warm the shared cache through one client, then two clients
+        # submit the same grid concurrently: both must stream one
+        # cell_done per cell — every one served from the shared cache
+        # — and agree byte-for-byte on the payload (timings included,
+        # because a warm replay returns the stored artifact).
+        warm = _talk(
+            tcp_daemon.server_address, [_matrix_request("warmup", seeds=(0, 1))]
+        )
+        assert warm[-1]["status"] == "ok"
+
+        results: dict[str, list[dict]] = {}
+
+        def client(job_id: str) -> None:
+            results[job_id] = _talk(
+                tcp_daemon.server_address,
+                [_matrix_request(job_id, seeds=(0, 1))],
+            )
+
+        threads = [
+            threading.Thread(target=client, args=(f"conc-{i}",))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=240)
+        assert set(results) == {"conc-0", "conc-1"}
+        payloads = {}
+        for job_id, replies in results.items():
+            events = [r for r in replies if r["kind"] == "event"]
+            cell_events = [e for e in events if e["type"] == "cell_done"]
+            assert len(cell_events) == 2, f"{job_id} streamed wrong cell count"
+            assert all(e["data"]["cached"] for e in cell_events)
+            assert all(e["job_id"] == job_id for e in events)
+            response = replies[-1]
+            assert response["kind"] == "response"
+            assert response["status"] == "ok"
+            payloads[job_id] = response["result"]
+        assert payloads["conc-0"] == payloads["conc-1"] == warm[-1]["result"]
+
+    def test_response_envelope_matrix_round_trips(self, tcp_daemon):
+        from repro.scenarios.matrix import MatrixResult
+        from repro.service import from_dict
+
+        replies = _talk(tcp_daemon.server_address, [_matrix_request("rt")])
+        response = from_dict(replies[-1])
+        result = MatrixResult.from_payload(response.result)
+        assert len(result.cells) == 1
+        assert result.cells[0].status == "ok"
+        assert result.format().startswith("Scenario matrix: 1 cells")
+
+    def test_cancel_unknown_job_and_malformed_lines(self, tcp_daemon):
+        replies = _talk(
+            tcp_daemon.server_address,
+            [
+                {"kind": "cancel", "id": "ghost"},
+                {"schema_version": SCHEMA_VERSION, "kind": "nope"},
+            ],
+        )
+        assert len(replies) == 2
+        assert all(r["kind"] == "response" for r in replies)
+        assert all(r["status"] == "error" for r in replies)
+        assert "no such job" in replies[0]["error"]
+        assert "unknown envelope kind" in replies[1]["error"]
+
+    def test_invalid_request_reports_roster_error(self, tcp_daemon):
+        bad = _matrix_request("bad")
+        bad["schemes"] = [["nope", {}]]
+        replies = _talk(tcp_daemon.server_address, [bad])
+        [response] = replies
+        assert response["status"] == "error"
+        assert "unknown locking scheme" in response["error"]
+        assert response["job_id"] == "bad"
+
+
+class TestStdioDaemon:
+    def test_subprocess_smoke(self, tmp_path):
+        """`repro serve` over stdio: submit, stream, shut down."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "stdio-cache")
+        lines = (
+            json.dumps(_matrix_request("stdio-1"))
+            + "\n"
+            + json.dumps({"kind": "shutdown"})
+            + "\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve"],
+            input=lines,
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=240,
+        )
+        assert proc.returncode == 0, proc.stderr
+        replies = [json.loads(line) for line in proc.stdout.splitlines()]
+        events = [r for r in replies if r["kind"] == "event"]
+        assert sum(e["type"] == "cell_done" for e in events) == 1
+        assert replies[-1]["kind"] == "response"
+        assert replies[-1]["status"] == "ok"

@@ -1,0 +1,112 @@
+"""Parity guard: the thin-client CLI renders pre-redesign bytes.
+
+The service redesign moved every subcommand onto request envelopes and
+event streams — but the *text* a user sees must not move.  Two locks:
+
+* ``table1`` against a checked-in golden file (the table is fully
+  deterministic: SARLock #DIP depends only on key size and effort), so
+  drift in either the driver or the render path fails loudly.
+* ``matrix`` (and ``table1``) against the library drivers' own
+  ``format()`` through a shared warm cache — timings replay from
+  stored artifacts, so the comparison is byte-exact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+_TABLE1_ARGS = ["--key-sizes", "3,4", "--efforts", "0,1,2", "--scale", "0.12"]
+
+
+class TestGoldenTable1:
+    def test_cli_matches_checked_in_golden(self, capsys):
+        assert main(["table1", *_TABLE1_ARGS, "--no-cache", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out == (GOLDEN_DIR / "table1_small.txt").read_text()
+
+    def test_cli_matches_library_driver(self, capsys, tmp_path):
+        from repro.experiments.table1 import run_table1
+        from repro.runner import ResultCache, Runner
+
+        cache_dir = tmp_path / "shared-cache"
+        # Pre-redesign rendering: print(run_table1(...).format()).
+        expected = (
+            run_table1(
+                key_sizes=(3, 4),
+                efforts=(0, 1, 2),
+                scale=0.12,
+                runner=Runner(cache=ResultCache(cache_dir)),
+            ).format()
+            + "\n"
+        )
+        assert main(
+            ["table1", *_TABLE1_ARGS, "--cache-dir", str(cache_dir), "--quiet"]
+        ) == 0
+        assert capsys.readouterr().out == expected
+
+
+class TestGoldenMatrix:
+    def test_cli_matches_library_driver_byte_for_byte(self, capsys, tmp_path):
+        from repro.runner import ResultCache, Runner
+        from repro.scenarios import ScenarioSpec, run_matrix
+
+        cache_dir = tmp_path / "shared-cache"
+        spec = ScenarioSpec(
+            schemes=[
+                ("sarlock", {"key_size": 3}),
+                ("xor", {"key_size": 3}),
+            ],
+            attacks=("sat",),
+            engines=("sharded", "reference"),
+            circuits=("c432",),
+            scale=0.12,
+            efforts=(1,),
+        )
+        # Pre-redesign rendering: print(run_matrix(...).format()).
+        expected = (
+            run_matrix(spec, runner=Runner(cache=ResultCache(cache_dir))).format()
+            + "\n"
+        )
+        assert main([
+            "matrix", "--schemes", "sarlock,xor", "--attacks", "sat",
+            "--engines", "sharded,reference", "--circuits", "c432",
+            "--scale", "0.12", "--key-size", "3", "--efforts", "1",
+            "--cache-dir", str(cache_dir), "--quiet",
+        ]) == 0
+        # Warm cache: every timing column replays from the stored
+        # artifact, so the whole table is byte-identical.
+        assert capsys.readouterr().out == expected
+
+    def test_progress_lines_match_classic_renderer(self, capsys, tmp_path):
+        """Streamed cell_done events render the classic progress line."""
+        from repro.runner import ResultCache, Runner, print_progress
+        from repro.scenarios import ScenarioSpec, run_matrix
+
+        cache_dir = tmp_path / "shared-cache"
+        spec = ScenarioSpec(
+            schemes=[("sarlock", {"key_size": 3})],
+            circuits=("c432",),
+            scale=0.12,
+            efforts=(1,),
+        )
+        run_matrix(spec, runner=Runner(cache=ResultCache(cache_dir)))
+        capsys.readouterr()
+
+        # Classic path: Runner(progress=print_progress) on a warm cache.
+        assert main([
+            "matrix", "--schemes", "sarlock", "--attacks", "sat",
+            "--circuits", "c432", "--scale", "0.12", "--key-size", "3",
+            "--efforts", "1", "--cache-dir", str(cache_dir),
+        ]) == 0
+        service_err = capsys.readouterr().err
+        run_matrix(
+            spec,
+            runner=Runner(cache=ResultCache(cache_dir), progress=print_progress),
+        )
+        classic_err = capsys.readouterr().err
+        assert service_err == classic_err
+        assert "cached" in service_err

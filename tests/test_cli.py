@@ -158,3 +158,67 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "composition equivalent: True" in out
+
+
+class TestServiceSurface:
+    """The thin-client redesign: envelopes in, rendered events out."""
+
+    def test_serve_subcommand_registered(self):
+        parser = build_parser()
+        assert "serve" in parser.format_help()
+        args = parser.parse_args(["serve", "--port", "0", "--jobs", "2"])
+        assert args.port == 0 and args.jobs == 2
+
+    def test_attack_takes_runner_flags(self):
+        # The pre-service CLI built an ad-hoc Runner inside _cmd_attack
+        # that ignored --jobs/--cache-dir; attack now shares the
+        # standard runner flag group.
+        args = build_parser().parse_args(
+            ["attack", "--jobs", "3", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 3
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache
+
+    def test_envelope_output_is_a_response_envelope(self, capsys):
+        from repro.service import from_json
+
+        assert main(["figure1", "--no-cache", "--quiet", "--json"]) == 0
+        response = from_json(capsys.readouterr().out)
+        assert response.status == "ok"
+        assert response.request_kind == "experiment"
+        assert response.result["experiment"] == "figure1"
+
+    def test_bench_envelope_output(self, capsys):
+        assert main([
+            "bench", "--circuit", "c432", "--scale", "0.3", "--envelope",
+        ]) == 0
+        from repro.service import from_json
+
+        response = from_json(capsys.readouterr().out)
+        assert "INPUT(" in response.result["text"]
+
+    def test_attack_exit_code_nonzero_on_partial(self, capsys):
+        # A 1-second-free budget cannot exist, but a tiny max-dips
+        # equivalent is the time-limit zero: the attack goes partial
+        # and the exit code says so.
+        code = main([
+            "attack", "--circuit", "c432", "--scheme", "sarlock",
+            "--key-size", "4", "-N", "1", "--scale", "0.12",
+            "--time-limit", "0.0", "--no-cache", "--quiet",
+        ])
+        assert code == 1
+        assert "status=partial" in capsys.readouterr().out
+
+    def test_bench_envelope_with_out_still_writes_file(self, capsys, tmp_path):
+        from repro.service import from_json
+
+        path = tmp_path / "c432.bench"
+        assert main([
+            "bench", "--circuit", "c432", "--scale", "0.3",
+            "--out", str(path), "--json",
+        ]) == 0
+        assert path.exists() and "INPUT(" in path.read_text()
+        # stdout carries only the envelope (machine-clean).
+        response = from_json(capsys.readouterr().out)
+        assert response.status == "ok"

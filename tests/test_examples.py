@@ -24,6 +24,7 @@ _TINY_ARGS = {
     "countermeasure_study.py": ["0.15", "4"],
     "defense_evaluation.py": ["0.15", "256", "tiny"],
     "multikey_parallel.py": ["c880", "0.15", "2"],
+    "service_client.py": ["3", "0.12"],
 }
 
 
