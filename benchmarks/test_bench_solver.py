@@ -1,0 +1,97 @@
+"""Benchmark S1: the SAT attack across every registered solver backend.
+
+One workload, every backend: a SARLock-locked ISCAS-class carrier run
+through the single-key SAT attack and (for backends with checkpoint
+frames) the sharded multi-key engine.  Parity is asserted before any
+timing is recorded — every backend must recover the same key and, on
+SARLock, the same scheme-determined DIP count — so the trajectory only
+ever compares *equivalent* runs.
+
+Each run appends one entry per backend to ``BENCH_solver.json`` at the
+repository root; the optional-deps CI job installs ``python-sat`` and
+re-runs this file, so the trajectory records the PySAT backend's
+numbers whenever the wheel is available.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.attacks.sat_attack import sat_attack
+from repro.bench_circuits.iscas85 import iscas85_like
+from repro.core.multikey import multikey_attack
+from repro.locking.sarlock import sarlock_lock
+from repro.oracle.oracle import Oracle
+from repro.sat import registered_solvers, solver_info
+
+from benchmarks.conftest import FULL, append_trajectory
+
+_CIRCUIT = "c1908"
+_SCALE = 0.4 if FULL else 0.25
+_KEY_SIZE = 6 if FULL else 5
+_EFFORT = 3 if FULL else 2
+
+
+def test_solver_backends(benchmark):
+    """Every registered backend: identical verdicts, tracked runtimes."""
+    original = iscas85_like(_CIRCUIT, _SCALE)
+    locked = sarlock_lock(original, _KEY_SIZE, seed=1)
+    expected_dips = 2**_KEY_SIZE - 1  # SARLock: one DIP per wrong key
+
+    entries = []
+    for name in registered_solvers():
+        info = solver_info(name)
+
+        start = time.perf_counter()
+        single = sat_attack(locked, Oracle(original), solver=name)
+        single_seconds = time.perf_counter() - start
+        assert single.succeeded, f"{name}: single-key attack failed"
+        assert single.key_int == locked.correct_key_int, (
+            f"{name}: recovered key diverges from the python backend's"
+        )
+        assert single.num_dips == expected_dips
+
+        multi_seconds = None
+        if info.supports_sharding:
+            start = time.perf_counter()
+            multi = multikey_attack(
+                locked, original, effort=_EFFORT, engine="sharded",
+                solver=name,
+            )
+            multi_seconds = time.perf_counter() - start
+            assert multi.status == "ok", f"{name}: sharded attack failed"
+            assert multi.engine == "sharded"
+            assert multi.solver == name
+
+        entries.append(
+            {
+                "ts": time.time(),
+                "backend": name,
+                "circuit": _CIRCUIT,
+                "scale": _SCALE,
+                "key_size": _KEY_SIZE,
+                "gates": locked.netlist.num_gates,
+                "dips": single.num_dips,
+                "single_key_s": round(single_seconds, 4),
+                "sharded_s": (
+                    round(multi_seconds, 4)
+                    if multi_seconds is not None
+                    else None
+                ),
+                "capabilities": info.capabilities.as_dict(),
+            }
+        )
+
+    # The pytest-benchmark tracked metric: the default backend's
+    # single-key attack, with every backend's numbers in extra_info.
+    benchmark.pedantic(
+        lambda: sat_attack(locked, Oracle(original)),
+        rounds=2,
+        iterations=1,
+    )
+    for entry in entries:
+        benchmark.extra_info[f"{entry['backend']}_single_key_s"] = entry[
+            "single_key_s"
+        ]
+
+    append_trajectory("solver", entries)

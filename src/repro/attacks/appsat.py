@@ -62,6 +62,7 @@ def appsat_attack(
     seed: int = 0,
     pin: Mapping[str, bool] | None = None,
     max_dips: int | None = None,
+    solver: str | None = None,
 ) -> AppSatResult:
     """Run the approximate attack.
 
@@ -121,6 +122,7 @@ def appsat_attack(
             max_dips=budget,
             time_limit=remaining,
             record_iterations=False,
+            solver=solver,
         )
         total_dips = result.num_dips
         if result.status == "ok":
@@ -138,7 +140,7 @@ def appsat_attack(
 
         # Extract the candidate key consistent with the DIPs so far by
         # re-running with the same budget but asking for key extraction:
-        candidate = _candidate_key(locked, oracle, budget, pin=pin)
+        candidate = _candidate_key(locked, oracle, budget, pin=pin, solver=solver)
         out_of_budget = max_dips is not None and budget >= max_dips
         if candidate is None:
             if out_of_budget:
@@ -207,6 +209,7 @@ def _candidate_key(
     oracle: Oracle,
     dip_budget: int,
     pin: Mapping[str, bool] | None = None,
+    solver: str | None = None,
 ) -> dict[str, bool] | None:
     """A key consistent with the first ``dip_budget`` DIPs.
 
@@ -225,5 +228,6 @@ def _candidate_key(
         max_dips=dip_budget,
         record_iterations=False,
         extract_on_budget=True,
+        solver=solver,
     )
     return replay.key

@@ -109,8 +109,10 @@ class Attack(Protocol):
     ``pin`` restricts the attack to one input sub-space (the multi-key
     attack's per-sub-space contract); ``time_limit`` / ``max_dips`` are
     budgets an attack may honour or ignore (brute force ignores both);
-    ``seed`` feeds any internal randomness; extra keyword ``params``
-    are attack-specific knobs.
+    ``seed`` feeds any internal randomness; ``solver`` names a
+    registered solver backend (:mod:`repro.sat.registry`) — attacks
+    that use no solver ignore it; extra keyword ``params`` are
+    attack-specific knobs.
     """
 
     def __call__(
@@ -122,6 +124,7 @@ class Attack(Protocol):
         time_limit: float | None = None,
         max_dips: int | None = None,
         seed: int = 0,
+        solver: str | None = None,
         **params,
     ) -> AttackOutcome: ...
 
@@ -194,6 +197,7 @@ def run_attack(
     time_limit: float | None = None,
     max_dips: int | None = None,
     seed: int = 0,
+    solver: str | None = None,
     **params,
 ) -> AttackOutcome:
     """Run the registered attack ``name`` under the uniform convention."""
@@ -204,6 +208,7 @@ def run_attack(
         time_limit=time_limit,
         max_dips=max_dips,
         seed=seed,
+        solver=solver,
         **params,
     )
 
@@ -263,6 +268,7 @@ def _sat_attack(
     time_limit: float | None = None,
     max_dips: int | None = None,
     seed: int = 0,
+    solver: str | None = None,
     extract_on_budget: bool = False,
 ) -> AttackOutcome:
     result = sat_attack(
@@ -273,6 +279,7 @@ def _sat_attack(
         max_dips=max_dips,
         record_iterations=False,
         extract_on_budget=extract_on_budget,
+        solver=solver,
     )
     return AttackOutcome(
         attack="sat",
@@ -299,6 +306,7 @@ def _appsat(
     time_limit: float | None = None,
     max_dips: int | None = None,
     seed: int = 0,
+    solver: str | None = None,
     dips_per_round: int = 8,
     queries_per_checkpoint: int = 64,
     error_threshold: float = 0.01,
@@ -316,6 +324,7 @@ def _appsat(
         seed=seed,
         pin=pin,
         max_dips=max_dips,
+        solver=solver,
     )
     # "exact" means the underlying DIP loop converged — the key is
     # exact on the (sub-)space, identical to the SAT attack's "ok".
@@ -355,9 +364,10 @@ def _brute_force(
     time_limit: float | None = None,
     max_dips: int | None = None,
     seed: int = 0,
+    solver: str | None = None,
 ) -> AttackOutcome:
-    # Budgets and seeds are meaningless for an exhaustive sweep; they
-    # are accepted (protocol) and ignored.
+    # Budgets, seeds and solver backends are meaningless for an
+    # exhaustive sweep; they are accepted (protocol) and ignored.
     result = brute_force_attack(locked, oracle, pin=pin)
     key = (
         locked.key_assignment(result.key_int)

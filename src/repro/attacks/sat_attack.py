@@ -57,6 +57,7 @@ from repro.circuit.gates import GateType
 from repro.circuit.simulator import random_stimuli_words
 from repro.locking.base import LockedCircuit, key_to_int
 from repro.oracle.oracle import Oracle
+from repro.sat.registry import create_solver, resolve_solver_name
 from repro.sat.solver import Solver
 
 
@@ -140,6 +141,9 @@ class MiterEncoding:
         true_var: Anchor variable fixed to true (constant substitution).
         base_vars: Variable count right after base encoding — the
             soundness ceiling for :meth:`Solver.export_learnts`.
+        solver_name: Registry name of the backend holding the encoding
+            (``"custom"`` when the caller passed an instance of an
+            unregistered type).
     """
 
     solver: Solver
@@ -153,16 +157,19 @@ class MiterEncoding:
     act: int
     true_var: int
     base_vars: int
+    solver_name: str = "python"
 
 
 def build_miter_encoding(
-    locked: LockedCircuit, solver: Solver | None = None
+    locked: LockedCircuit, solver: Solver | str | None = None
 ) -> MiterEncoding:
     """Encode ``locked``'s key-comparison miter into ``solver`` once.
 
     Args:
         locked: The reverse-engineered locked netlist with key ports.
-        solver: Incremental solver to encode into (fresh by default).
+        solver: Backend to encode into — a registered backend *name*
+            (see :mod:`repro.sat.registry`), a solver instance, or
+            ``None`` for the process default backend.
 
     Returns a :class:`MiterEncoding` whose variable numbering is a
     deterministic function of the compiled circuit — two processes
@@ -183,7 +190,11 @@ def build_miter_encoding(
     shared_idx = [i for i, out in enumerate(gate_out) if not controlled[out]]
     cone_idx = [i for i, out in enumerate(gate_out) if controlled[out]]
 
-    solver = solver or Solver()
+    if solver is None or isinstance(solver, str):
+        solver_name = resolve_solver_name(solver)
+        solver = create_solver(solver_name)
+    else:
+        solver_name = getattr(solver, "backend_name", "custom")
     # Slot-indexed solver variables (0 = no variable for that slot).
     shared_vars = [0] * num_slots
     input_vars: dict[str, int] = {}
@@ -258,6 +269,7 @@ def build_miter_encoding(
         act=act,
         true_var=true_var,
         base_vars=solver.num_vars,
+        solver_name=solver_name,
     )
 
 
@@ -502,6 +514,7 @@ def sat_attack(
     max_dips: int | None = None,
     record_iterations: bool = True,
     extract_on_budget: bool = False,
+    solver: Solver | str | None = None,
 ) -> SatAttackResult:
     """Run the SAT attack on ``locked`` against ``oracle``.
 
@@ -518,6 +531,7 @@ def sat_attack(
         extract_on_budget: When a budget stops the DIP loop early,
             still extract a key consistent with the DIPs seen so far
             (an *approximate* key — AppSAT builds on this).
+        solver: Backend name/instance (see :func:`build_miter_encoding`).
 
     Returns the recovered key — correct on every input consistent with
     ``pin`` — plus run statistics.
@@ -529,10 +543,15 @@ def sat_attack(
         if net not in locked.netlist.inputs or net in key_set:
             raise ValueError(f"pinned net {net!r} is not a primary input")
 
-    enc = build_miter_encoding(locked)
+    enc = build_miter_encoding(locked, solver=solver)
     for net, value in pin.items():
         var = enc.input_vars[net]
         enc.solver.add_clause([var if value else -var])
+    if pin and hasattr(enc.solver, "simplify"):
+        # Constant-propagate the pins through the shared logic before
+        # the DIP loop: the reference multi-key arm pays for pinned
+        # clauses on every conflict otherwise.
+        enc.solver.simplify()
 
     return run_dip_loop(
         enc,

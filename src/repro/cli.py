@@ -241,6 +241,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             effort=args.effort,
             scale=args.scale,
             seed=args.seed,
+            solver=args.solver,
             time_limit_per_task=args.time_limit,
             parallel=args.parallel,
         )
@@ -255,7 +256,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     from repro.attacks.registry import attack_info, registered_attacks
     from repro.locking.registry import registered_schemes, scheme_info
 
-    if args.list_schemes or args.list_attacks:
+    if args.list_schemes or args.list_attacks or args.list_solvers:
         if args.list_schemes:
             print("registered locking schemes:")
             for name in registered_schemes():
@@ -266,6 +267,18 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                 info = attack_info(name)
                 shard = " [shared-encoding]" if info.supports_shared_encoding else ""
                 print(f"  {name}: {info.description}{shard}")
+        if args.list_solvers:
+            from repro.sat.registry import registered_solvers, solver_info
+
+            print("registered solver backends:")
+            for name in registered_solvers():
+                info = solver_info(name)
+                caps = ",".join(
+                    flag
+                    for flag, on in info.capabilities.as_dict().items()
+                    if on
+                )
+                print(f"  {name}: {info.description} [{caps or 'none'}]")
         return 0
 
     from pathlib import Path
@@ -288,6 +301,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             scale=args.scale,
             efforts=_parse_int_list(args.efforts),
             seeds=_parse_int_list(args.seeds),
+            solver=args.solver,
             time_limit_per_task=args.time_limit,
             max_dips_per_task=args.max_dips,
             include_baseline=args.baseline,
@@ -454,6 +468,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-key engine (default: sharded)",
     )
     p.add_argument(
+        "--solver", default=None,
+        help="registered SAT backend (see matrix --list-solvers; "
+        "default: REPRO_SOLVER or 'python')",
+    )
+    p.add_argument(
         "--sharded", action="store_true",
         help="shorthand for --engine sharded",
     )
@@ -489,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--lut-spec", choices=("tiny", "small", "paper"), default="tiny",
         help="LUT module preset for the 'lut' scheme (default: tiny)",
     )
+    p.add_argument(
+        "--solver", default=None,
+        help="registered SAT backend for every cell (see --list-solvers; "
+        "default: REPRO_SOLVER or 'python')",
+    )
     p.add_argument("--time-limit", type=float, default=None)
     p.add_argument("--max-dips", type=int, default=None)
     p.add_argument(
@@ -509,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--list-attacks", action="store_true",
         help="print the attack registry and exit",
+    )
+    p.add_argument(
+        "--list-solvers", action="store_true",
+        help="print the SAT solver-backend registry and exit",
     )
     _add_runner_args(p)
     _add_envelope_arg(p, alias_json=False)

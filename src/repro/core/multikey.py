@@ -116,6 +116,7 @@ class MultiKeyResult:
             the reference arm pays encoding per sub-task inside
             ``elapsed_seconds``).
         attack: Registered name of the per-sub-space attack.
+        solver: Registered solver backend the sub-attacks ran on.
     """
 
     effort: int
@@ -127,6 +128,7 @@ class MultiKeyResult:
     engine: str = "reference"
     encode_seconds: float = 0.0
     attack: str = "sat"
+    solver: str = "python"
 
     @property
     def status(self) -> str:
@@ -232,6 +234,7 @@ def _run_subtask(payload: tuple) -> SubTaskResult:
         attack,
         attack_params,
         seed,
+        solver,
     ) = payload
     conditional = generate_conditional_netlist(
         locked, assignment, run_synthesis=run_synthesis, effort=synthesis_effort
@@ -245,6 +248,7 @@ def _run_subtask(payload: tuple) -> SubTaskResult:
         time_limit=time_limit,
         max_dips=max_dips,
         seed=seed,
+        solver=solver,
         **(attack_params or {}),
     )
     return SubTaskResult(
@@ -282,6 +286,7 @@ def multikey_attack(
     engine: str = "reference",
     attack: str = "sat",
     attack_params: dict | None = None,
+    solver: str | None = None,
     runner=None,
 ) -> MultiKeyResult:
     """Run Algorithm 1 with splitting effort ``N = effort``.
@@ -308,22 +313,34 @@ def multikey_attack(
             :func:`repro.core.sharded.sharded_multikey_attack`, which
             shares a single miter encoding across all sub-spaces.
             When the chosen ``attack`` cannot run against a shared
-            encoding (no registered ``shard_fn``), ``"sharded"`` falls
-            back to the reference per-sub-space path and the result's
-            ``engine`` field reports ``"reference"``.
+            encoding (no registered ``shard_fn``), or the chosen
+            ``solver`` backend has no checkpoint/rollback frames,
+            ``"sharded"`` falls back to the reference per-sub-space
+            path and the result's ``engine`` field reports
+            ``"reference"``.
         attack: Registered per-sub-space attack name (see
             :func:`repro.attacks.registry.registered_attacks`).
         attack_params: Extra keyword params for the attack (e.g.
             AppSAT's ``error_threshold``); must be JSON-serializable
             when the attack is routed through the runner cache.
+        solver: Registered solver backend name for the sub-attacks
+            (``None`` -> the process default; see
+            :mod:`repro.sat.registry`).
         runner: Optional :class:`repro.runner.Runner` for the sharded
             engine's fan-out (ignored by the reference engine, whose
             sub-tasks carry live objects the task cache cannot hash).
 
     ``effort=0`` degenerates to the baseline single-key attack.
     """
+    from repro.sat.registry import resolve_solver_name, solver_info
+
     info = attack_info(attack)
-    if engine == "sharded" and info.supports_shared_encoding:
+    solver = resolve_solver_name(solver)
+    if (
+        engine == "sharded"
+        and info.supports_shared_encoding
+        and solver_info(solver).supports_sharding
+    ):
         from repro.core.sharded import sharded_multikey_attack
 
         return sharded_multikey_attack(
@@ -339,6 +356,7 @@ def multikey_attack(
             splitting_inputs=splitting_inputs,
             attack=attack,
             attack_params=attack_params,
+            solver=solver,
             runner=runner,
         )
     if engine not in ("reference", "sharded"):
@@ -365,6 +383,7 @@ def multikey_attack(
             attack,
             attack_params,
             seed,
+            solver,
         )
         for index, assignment in enumerate(assignments)
     ]
@@ -384,4 +403,5 @@ def multikey_attack(
         parallel=parallel and len(payloads) > 1,
         selection=selection,
         attack=attack,
+        solver=solver,
     )

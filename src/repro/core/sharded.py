@@ -74,7 +74,12 @@ class ShardEngine:
             :func:`repro.core.splitting.splitting_assignments`).
         prime_learnts: Optional DIMACS clauses from another engine's
             :meth:`export_warm_clauses` — imported as learned clauses
-            before the first shard runs.
+            before the first shard runs (silently skipped when the
+            backend declares ``learnt_export`` off).
+        solver: Registered solver backend name (``None`` -> process
+            default).  The backend must declare the ``checkpoint`` and
+            ``assumptions`` capabilities — shards are solver frames —
+            or construction raises ``ValueError``.
     """
 
     def __init__(
@@ -83,18 +88,31 @@ class ShardEngine:
         oracle: Oracle,
         splitting_inputs: Sequence[str],
         prime_learnts: Sequence[Sequence[int]] | None = None,
+        solver: str | None = None,
     ):
+        from repro.sat.registry import resolve_solver_name, solver_info
+
         for net in splitting_inputs:
             if net not in locked.original_inputs:
                 raise ValueError(
                     f"splitting input {net!r} is not an original primary input"
                 )
+        self.solver_name = resolve_solver_name(solver)
+        backend = solver_info(self.solver_name)
+        if not backend.supports_sharding:
+            raise ValueError(
+                f"solver backend {self.solver_name!r} cannot run the sharded "
+                "engine (needs the checkpoint and assumptions capabilities); "
+                "use engine='reference' (multikey_attack falls back "
+                "automatically)"
+            )
+        self._can_exchange_learnts = backend.capabilities.learnt_export
         self.locked = locked
         self.oracle = oracle
         self.splitting_inputs = list(splitting_inputs)
         start = time.perf_counter()
-        self.enc = build_miter_encoding(locked)
-        if prime_learnts:
+        self.enc = build_miter_encoding(locked, solver=self.solver_name)
+        if prime_learnts and self._can_exchange_learnts:
             self.enc.solver.import_learnts(prime_learnts)
         self.encode_seconds = time.perf_counter() - start
         self._num_gates = locked.netlist.num_gates
@@ -196,8 +214,12 @@ class ShardEngine:
         Only clauses confined to the base miter variables are exported
         (they cannot depend on any shard's guarded constraints), so the
         result is implied by the encoding alone and sound to import
-        into any engine built for the same circuit.
+        into any engine built for the same circuit.  Backends without
+        the ``learnt_export`` capability return an empty list — the
+        shards still run, just without warm-start priming.
         """
+        if not self._can_exchange_learnts:
+            return []
         return self.enc.solver.export_learnts(
             max_var=self.enc.base_vars, max_lbd=max_lbd
         )
@@ -246,6 +268,7 @@ def _shard_chunk_task(params: dict) -> dict:
         oracle,
         params["splitting_inputs"],
         prime_learnts=prime,
+        solver=params.get("solver"),
     )
     shards = [
         asdict(
@@ -275,14 +298,17 @@ def shard_chunk_task(
     attack: str = "sat",
     attack_params: dict | None = None,
     seed: int = 0,
+    solver: str | None = None,
 ) -> TaskSpec:
     """The :class:`TaskSpec` for one worker's chunk of shards.
 
     Circuits travel as ``.bench`` text, so the params are plain JSON:
     the same attack hashes identically across processes and the
-    runner's on-disk cache can replay shard chunks.  Warm-start clauses
-    ride in the unhashed execution context — they change how fast a
-    chunk solves, never what it returns.
+    runner's on-disk cache can replay shard chunks.  The solver backend
+    is hashed too — different backends may return different (equally
+    valid) partial keys, so their artifacts must not alias.  Warm-start
+    clauses ride in the unhashed execution context — they change how
+    fast a chunk solves, never what it returns.
     """
     return TaskSpec(
         kind="multikey_shard_chunk",
@@ -296,6 +322,7 @@ def shard_chunk_task(
             "attack": attack,
             "attack_params": attack_params,
             "seed": seed,
+            "solver": solver,
         },
         context={
             "prime_learnts": prime_learnts,
@@ -324,6 +351,7 @@ def sharded_multikey_attack(
     warm_start: bool = True,
     attack: str = "sat",
     attack_params: dict | None = None,
+    solver: str | None = None,
 ) -> MultiKeyResult:
     """Run Algorithm 1 through the shared-encoding sharded engine.
 
@@ -359,6 +387,9 @@ def sharded_multikey_attack(
             the reference per-sub-space path for those.
         attack_params: Extra keyword params for the attack
             (JSON-serializable; they are part of the task hash).
+        solver: Registered solver backend name (``None`` -> process
+            default); must support sharding (checkpoint frames +
+            assumptions) or the :class:`ShardEngine` raises.
 
     ``effort=0`` degenerates to the baseline single-key SAT attack on
     a single shard.
@@ -375,8 +406,11 @@ def sharded_multikey_attack(
         >>> all(task.key is not None for task in result.subtasks)
         True
     """
+    from repro.sat.registry import resolve_solver_name
+
     start = time.perf_counter()
     attack_info(attack)  # fail fast on unknown names
+    solver = resolve_solver_name(solver)  # pinned: the backend is hashed
     if splitting_inputs is None:
         splitting_inputs = select_splitting_inputs(
             locked, effort, strategy=selection, seed=seed
@@ -388,7 +422,7 @@ def sharded_multikey_attack(
 
     fan_out = (parallel or runner is not None) and num_shards > 1
     oracle = Oracle(oracle_netlist)
-    engine = ShardEngine(locked, oracle, splitting_inputs)
+    engine = ShardEngine(locked, oracle, splitting_inputs, solver=solver)
     encode_seconds = engine.encode_seconds
 
     if not fan_out:
@@ -436,6 +470,7 @@ def sharded_multikey_attack(
                 attack=attack,
                 attack_params=attack_params,
                 seed=seed,
+                solver=solver,
             )
             for chunk in chunks
         ]
@@ -462,4 +497,5 @@ def sharded_multikey_attack(
         engine="sharded",
         encode_seconds=encode_seconds,
         attack=attack,
+        solver=solver,
     )

@@ -26,12 +26,31 @@ from repro.sat.encode import (
     enc_xnor,
     enc_xor,
 )
-from repro.sat.solver import Solver, SolverStats
+from repro.sat.registry import (
+    SolverBackendInfo,
+    SolverCapabilities,
+    create_solver,
+    default_solver_name,
+    register_solver,
+    registered_solvers,
+    resolve_solver_name,
+    solver_info,
+)
+from repro.sat.solver import BudgetExhausted, Solver, SolverStats
 
 __all__ = [
     "CNF",
     "Solver",
     "SolverStats",
+    "BudgetExhausted",
+    "SolverBackendInfo",
+    "SolverCapabilities",
+    "create_solver",
+    "default_solver_name",
+    "register_solver",
+    "registered_solvers",
+    "resolve_solver_name",
+    "solver_info",
     "parse_dimacs",
     "write_dimacs",
     "enc_and",

@@ -1,0 +1,203 @@
+"""Optional PySAT adapter: CaDiCaL/Glucose/MiniSat behind the Solver seam.
+
+When the ``python-sat`` package is importable this module registers a
+``"pysat"`` backend with :mod:`repro.sat.registry`; otherwise importing
+it is a clean no-op and the roster simply lacks the entry.  The engine
+inside the adapter is auto-probed from :data:`PYSAT_CANDIDATES` in
+preference order (CaDiCaL first), so the backend works with whatever
+engines the installed python-sat build actually ships.
+
+Declared capabilities are ``assumptions`` and ``conflict_budget`` only:
+PySAT engines have no checkpoint/rollback frames and no learned-clause
+export, so the sharded multi-key engine falls back to the reference
+per-sub-space path when this backend is selected — same answers, no
+shared-encoding reuse.
+"""
+
+from __future__ import annotations
+
+from repro.sat.solver import BudgetExhausted, SolverStats
+
+try:  # pragma: no cover - exercised only with python-sat installed
+    from pysat.solvers import Solver as _PySatEngine
+
+    HAVE_PYSAT = True
+except ImportError:  # pragma: no cover
+    _PySatEngine = None
+    HAVE_PYSAT = False
+
+#: Engine names probed in preference order (newer CaDiCaL names first).
+PYSAT_CANDIDATES = (
+    "cadical195",
+    "cadical153",
+    "cadical",
+    "glucose42",
+    "glucose4",
+    "glucose3",
+    "minisat22",
+    "minicard",
+)
+
+_probed_name: str | None = None
+_probed = False
+
+
+def pick_engine_name() -> str | None:
+    """First usable engine from :data:`PYSAT_CANDIDATES` (cached).
+
+    Returns ``None`` when python-sat is missing or ships none of the
+    candidate engines.
+    """
+    global _probed_name, _probed
+    if _probed:
+        return _probed_name
+    _probed = True
+    if not HAVE_PYSAT:
+        return None
+    for name in PYSAT_CANDIDATES:
+        try:
+            probe = _PySatEngine(name=name)
+        except Exception:
+            continue
+        probe.delete()
+        _probed_name = name
+        break
+    return _probed_name
+
+
+class PySatSolver:  # pragma: no cover - exercised only with python-sat
+    """The :class:`repro.sat.solver.Solver` surface over a PySAT engine.
+
+    Speaks DIMACS integers exactly like the python backend; keeps a
+    :class:`SolverStats` whose counters are refreshed from the engine's
+    accumulated statistics after every ``solve`` call, with
+    ``budget_aborts`` maintained by the adapter itself.
+    """
+
+    backend_name = "pysat"
+
+    def __init__(self, engine: str | None = None) -> None:
+        name = engine or pick_engine_name()
+        if name is None:
+            raise RuntimeError(
+                "python-sat is not installed (or ships no known engine); "
+                f"candidates: {', '.join(PYSAT_CANDIDATES)}"
+            )
+        self.engine_name = name
+        self._engine = _PySatEngine(name=name, use_timer=False)
+        self.stats = SolverStats()
+        self._nvars = 0
+        self._nclauses = 0
+        self._values: dict[int, bool] = {}
+        self._ok = True
+
+    # -- variable / clause management ----------------------------------
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    @property
+    def num_clauses(self) -> int:
+        return self._nclauses
+
+    def new_var(self) -> int:
+        self._nvars += 1
+        return self._nvars
+
+    def _note_vars(self, lits) -> None:
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            var = abs(lit)
+            if var > self._nvars:
+                self._nvars = var
+
+    def add_clause(self, lits) -> bool:
+        lits = list(lits)
+        self._note_vars(lits)
+        if not lits:
+            self._ok = False
+            return False
+        self._engine.add_clause(lits)
+        self._nclauses += 1
+        return self._ok
+
+    def add_clauses(self, clause_iter) -> bool:
+        ok = True
+        for clause in clause_iter:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # -- search --------------------------------------------------------
+    def solve(self, assumptions=(), conflict_budget: int | None = None) -> bool:
+        self.stats.solve_calls += 1
+        if not self._ok:
+            return False
+        assumptions = list(assumptions)
+        self._note_vars(assumptions)
+        self._values = {}
+        if conflict_budget is not None:
+            self._engine.conf_budget(conflict_budget)
+            result = self._engine.solve_limited(
+                assumptions=assumptions, expect_interrupt=False
+            )
+        else:
+            result = self._engine.solve(assumptions=assumptions)
+        self._refresh_stats()
+        if result is None:
+            self.stats.budget_aborts += 1
+            raise BudgetExhausted(conflict_budget or 0)
+        if result:
+            model = self._engine.get_model() or []
+            self._values = {abs(lit): lit > 0 for lit in model}
+        elif not assumptions:
+            # Unconditionally UNSAT: match the python backend's sticky
+            # behaviour so later calls stay cheap and consistent.
+            self._ok = False
+        return bool(result)
+
+    def _refresh_stats(self) -> None:
+        try:
+            accumulated = self._engine.accum_stats() or {}
+        except Exception:
+            return
+        self.stats.conflicts = int(accumulated.get("conflicts", 0))
+        self.stats.decisions = int(accumulated.get("decisions", 0))
+        self.stats.propagations = int(accumulated.get("propagations", 0))
+        self.stats.restarts = int(accumulated.get("restarts", 0))
+
+    # -- model access --------------------------------------------------
+    def model_value(self, var: int) -> bool | None:
+        if var < 1 or var > self._nvars:
+            return None
+        return self._values.get(var)
+
+    def model(self) -> list[int]:
+        return [
+            var if self._values.get(var) else -var
+            for var in range(1, self._nvars + 1)
+        ]
+
+
+def _register() -> None:
+    """Register the ``pysat`` backend when an engine is available."""
+    if pick_engine_name() is None:
+        return
+    from repro.sat.registry import SolverCapabilities, register_solver
+
+    register_solver(
+        "pysat",
+        capabilities=SolverCapabilities(
+            assumptions=True,
+            checkpoint=False,
+            learnt_export=False,
+            conflict_budget=True,
+        ),
+        description=(
+            f"python-sat adapter (engine: {pick_engine_name()}; "
+            "no frames/learnt export -> reference engine only)"
+        ),
+    )(PySatSolver)
+
+
+_register()

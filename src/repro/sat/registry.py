@@ -1,0 +1,167 @@
+"""The solver backend registry: pluggable SAT engines behind one seam.
+
+Mirrors the scheme/attack registries (:mod:`repro.locking.registry`,
+:mod:`repro.attacks.registry`): backends self-register at import time
+with :func:`register_solver`, callers resolve by name through
+:func:`solver_info` / :func:`create_solver`, and a typo fails fast
+with the full roster in the error message.
+
+A backend is a zero-argument factory returning an object with the
+:class:`repro.sat.solver.Solver` surface — ``new_var``,
+``add_clause(s)``, ``solve(assumptions=..., conflict_budget=...)``,
+``model_value``, ``stats.as_dict()`` — plus whatever subset of the
+warm-start contract its :class:`SolverCapabilities` declare:
+
+* ``assumptions`` — ``solve(assumptions=...)`` pins literals for one
+  call without poisoning later calls.
+* ``checkpoint`` — ``checkpoint()``/``rollback(mark)`` frames; the
+  sharded multi-key engine cannot run without them.
+* ``learnt_export`` — ``export_learnts``/``import_learnts`` move
+  learned clauses (including root-level units) between instances that
+  share an encoding prefix.
+* ``conflict_budget`` — ``solve(conflict_budget=n)`` raises
+  :class:`~repro.sat.solver.BudgetExhausted` past ``n`` conflicts and
+  counts the abort in ``stats.as_dict()["budget_aborts"]``.
+
+The conformance suite (``tests/sat/test_backends.py``) runs every
+registered backend against the contract, skipping exactly the parts a
+backend declares off — so a new backend either passes or says why not.
+
+The default backend is ``"python"`` (always available); set the
+``REPRO_SOLVER`` environment variable to change the default without
+threading ``solver=`` through every call site.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.sat.solver import Solver
+
+#: The always-available fallback backend.
+DEFAULT_SOLVER = "python"
+
+#: Environment variable naming the default backend for this process.
+SOLVER_ENV = "REPRO_SOLVER"
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a backend supports beyond plain ``add_clause``/``solve``."""
+
+    assumptions: bool = False
+    checkpoint: bool = False
+    learnt_export: bool = False
+    conflict_budget: bool = False
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "assumptions": self.assumptions,
+            "checkpoint": self.checkpoint,
+            "learnt_export": self.learnt_export,
+            "conflict_budget": self.conflict_budget,
+        }
+
+
+@dataclass(frozen=True)
+class SolverBackendInfo:
+    """Registry record for one solver backend."""
+
+    name: str
+    factory: Callable[[], object]
+    capabilities: SolverCapabilities
+    description: str = ""
+
+    @property
+    def supports_sharding(self) -> bool:
+        """Whether the sharded engine's fast path can run on this backend.
+
+        Sharding needs checkpoint/rollback frames (each sub-space is a
+        frame) and per-shard assumption pinning.  ``learnt_export`` is
+        *not* required — without it the pilot shard simply cannot prime
+        the workers warm.
+        """
+        return self.capabilities.checkpoint and self.capabilities.assumptions
+
+
+_REGISTRY: dict[str, SolverBackendInfo] = {}
+
+
+def register_solver(
+    name: str,
+    *,
+    capabilities: SolverCapabilities,
+    description: str = "",
+):
+    """Class/function decorator registering a solver backend factory."""
+
+    def decorate(factory):
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.factory is not factory:
+            raise ValueError(f"solver backend {name!r} is already registered")
+        _REGISTRY[name] = SolverBackendInfo(
+            name=name,
+            factory=factory,
+            capabilities=capabilities,
+            description=description,
+        )
+        return factory
+
+    return decorate
+
+
+def solver_info(name: str) -> SolverBackendInfo:
+    """Resolve a backend name; unknown names raise with the roster."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown solver backend {name!r} (registered: {known})"
+        ) from None
+
+
+def registered_solvers() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def default_solver_name() -> str:
+    """The process-wide default backend (``REPRO_SOLVER`` or python)."""
+    return os.environ.get(SOLVER_ENV) or DEFAULT_SOLVER
+
+
+def resolve_solver_name(name: str | None) -> str:
+    """``name`` if given, else the process default — always validated."""
+    resolved = name or default_solver_name()
+    solver_info(resolved)
+    return resolved
+
+
+def create_solver(name: str | None = None):
+    """Instantiate a backend by name (``None`` -> process default)."""
+    return solver_info(resolve_solver_name(name)).factory()
+
+
+@register_solver(
+    "python",
+    capabilities=SolverCapabilities(
+        assumptions=True,
+        checkpoint=True,
+        learnt_export=True,
+        conflict_budget=True,
+    ),
+    description=(
+        "pure-python CDCL (always available; full warm-start contract)"
+    ),
+)
+def _python_backend() -> Solver:
+    return Solver()
+
+
+# The PySAT adapter registers itself when the optional python-sat
+# package is importable; without it the import is a clean no-op and
+# the roster simply lacks the "pysat" entry.
+from repro.sat import pysat_backend as _pysat_backend  # noqa: E402,F401

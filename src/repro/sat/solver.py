@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 
 _LUBY_UNIT = 128  # conflicts per Luby step
+_DECAY_RAMP_INTERVAL = 256  # conflicts between VSIDS decay-ramp steps
 
 
 def luby(i: int) -> int:
@@ -61,6 +62,7 @@ class SolverStats:
     removed: int = 0
     max_decision_level: int = 0
     solve_calls: int = 0
+    budget_aborts: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -72,6 +74,7 @@ class SolverStats:
             "removed": self.removed,
             "max_decision_level": self.max_decision_level,
             "solve_calls": self.solve_calls,
+            "budget_aborts": self.budget_aborts,
         }
 
 
@@ -109,12 +112,18 @@ class Solver:
     kept, which makes the DIP loop of the SAT attack cheap.
     """
 
+    #: Registry name of this backend (see :mod:`repro.sat.registry`).
+    backend_name = "python"
+
     def __init__(self) -> None:
         self.stats = SolverStats()
         self._nvars = 0
         # Indexed by internal literal.
         self._litval: list[int] = [0, 0]  # 1 true, -1 false, 0 unset
-        self._watches: list[list[_Clause]] = [[], []]
+        # Watch lists hold ``(blocker, clause)`` pairs (MiniSAT 2.2's
+        # "watcher with blocker"): the blocker is some other literal of
+        # the clause, checked before touching the clause object at all.
+        self._watches: list[list[tuple[int, _Clause]]] = [[], []]
         # Indexed by variable.
         self._level: list[int] = [0]
         self._reason: list[_Clause | None] = [None]
@@ -129,7 +138,11 @@ class Solver:
         self._qhead = 0
 
         self._var_inc = 1.0
-        self._var_decay = 1.0 / 0.95
+        # Glucose-style decay ramp: start aggressive (0.80) so early
+        # conflicts focus the search, relax towards 0.95 as the run
+        # matures (every _DECAY_RAMP_INTERVAL conflicts, +0.01).
+        self._var_decay_factor = 0.80
+        self._var_decay = 1.0 / self._var_decay_factor
         self._cla_inc = 1.0
         self._cla_decay = 1.0 / 0.999
         self._order: list[tuple[float, int]] = []  # lazy max-heap entries
@@ -230,8 +243,8 @@ class Solver:
 
         clause = _Clause(internal)
         self._clauses.append(clause)
-        self._watches[internal[0]].append(clause)
-        self._watches[internal[1]].append(clause)
+        self._watches[internal[0]].append((internal[1], clause))
+        self._watches[internal[1]].append((internal[0], clause))
         return True
 
     def add_clauses(self, clause_iter) -> bool:
@@ -240,6 +253,49 @@ class Solver:
         for clause in clause_iter:
             ok = self.add_clause(clause) and ok
         return ok
+
+    def simplify(self) -> bool:
+        """Root-level preprocessing: shed what level-0 facts decide.
+
+        After propagating to fixpoint, drops clauses satisfied at the
+        root and strips root-falsified literals from the rest — the
+        classic MiniSAT ``simplify()``.  With pinned miter inputs this
+        constant-propagates the pins through the shared logic before
+        the DIP loop starts paying for them on every conflict.
+
+        Must not be called while a :meth:`checkpoint` mark is
+        outstanding: marks snapshot the clause-list *length*, which
+        this method shrinks.  Returns ``False`` if the formula is
+        unsatisfiable at the root.
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        litval = self._litval
+        for store in (self._clauses, self._learnts):
+            kept: list[_Clause] = []
+            for clause in store:
+                lits = clause.lits
+                if any(litval[lit] == 1 for lit in lits):
+                    # Satisfied at root: watch lists skip it lazily.
+                    clause.deleted = True
+                    if clause.learnt:
+                        self.stats.removed += 1
+                    continue
+                if any(litval[lit] == -1 for lit in lits):
+                    # At a root fixpoint both watched literals of an
+                    # unsatisfied clause are unassigned, so stripping
+                    # falsified tail literals keeps lits[0]/lits[1] —
+                    # and with them the watch invariants — intact.
+                    stripped = [lit for lit in lits if litval[lit] != -1]
+                    if len(stripped) >= 2:
+                        clause.lits = stripped
+                kept.append(clause)
+            store[:] = kept
+        return True
 
     # ------------------------------------------------------------------
     # Checkpoint / rollback frames
@@ -322,8 +378,22 @@ class Solver:
         Returns clauses suitable for :meth:`import_learnts` on another
         solver holding the same encoding prefix (identical variable
         numbering).
+
+        Root-level assignments are exported as **unit clauses**: the
+        search enqueues a length-1 learnt directly on the trail instead
+        of recording a clause object, so without this the strongest
+        derived facts would silently vanish from a warm start.  Only
+        the level-0 prefix of the trail is read (a model left by a SAT
+        answer lives above the first decision mark), and ``max_var``
+        filters units exactly like longer clauses.
         """
         exported: list[list[int]] = []
+        root_end = self._trail_lim[0] if self._trail_lim else len(self._trail)
+        for lit in self._trail[:root_end]:
+            var = lit >> 1
+            if max_var is not None and var > max_var:
+                continue
+            exported.append([-var if lit & 1 else var])
         for clause in self._learnts:
             if clause.deleted:
                 continue
@@ -349,10 +419,10 @@ class Solver:
         clauses are dropped).
         """
         imported = 0
+        self._cancel_until(0)  # once: the loop below stays at root level
         for ext_lits in clauses:
             if not self._ok:
                 break
-            self._cancel_until(0)
             internal = self._normalize_clause(ext_lits)
             if internal is None:
                 continue
@@ -373,8 +443,8 @@ class Solver:
             clause.lbd = len(internal)  # pessimistic glue for imports
             clause.act = self._cla_inc
             self._learnts.append(clause)
-            self._watches[internal[0]].append(clause)
-            self._watches[internal[1]].append(clause)
+            self._watches[internal[0]].append((internal[1], clause))
+            self._watches[internal[1]].append((internal[0], clause))
             imported += 1
         return imported
 
@@ -424,14 +494,20 @@ class Solver:
             ws = watches[false_lit]
             if not ws:
                 continue
-            new_ws: list[_Clause] = []
+            new_ws: list[tuple[int, _Clause]] = []
             keep = new_ws.append
             i = 0
             n = len(ws)
             while i < n:
-                c = ws[i]
+                blocker, c = ws[i]
                 i += 1
                 if c.deleted:
+                    continue
+                # Blocker short-circuit: if some other literal of the
+                # clause is already true, the clause is satisfied and
+                # its literal array need not be touched at all.
+                if litval[blocker] == 1:
+                    keep((blocker, c))
                     continue
                 lits = c.lits
                 # Make sure the false literal is at position 1.
@@ -440,7 +516,7 @@ class Solver:
                     lits[1] = false_lit
                 first = lits[0]
                 if litval[first] == 1:
-                    keep(c)
+                    keep((first, c))
                     continue
                 # Search for a replacement watch.
                 found = False
@@ -449,18 +525,18 @@ class Solver:
                     if litval[lk] != -1:
                         lits[1] = lk
                         lits[k] = false_lit
-                        watches[lk].append(c)
+                        watches[lk].append((first, c))
                         found = True
                         break
                 if found:
                     continue
-                keep(c)
+                keep((first, c))
                 if litval[first] == -1:
                     # Conflict: keep remaining watches and bail out.
                     while i < n:
-                        cc = ws[i]
-                        if not cc.deleted:
-                            keep(cc)
+                        entry = ws[i]
+                        if not entry[1].deleted:
+                            keep(entry)
                         i += 1
                     confl = c
                     break
@@ -657,6 +733,7 @@ class Solver:
                 conflicts_since_restart += 1
                 if conflict_budget is not None and conflicts_this_call > conflict_budget:
                     self._cancel_until(0)
+                    self.stats.budget_aborts += 1
                     raise BudgetExhausted(conflicts_this_call)
                 level = len(self._trail_lim)
                 if level == 0:
@@ -670,23 +747,34 @@ class Solver:
                 bt_level = max(bt_level, self._assumption_floor(assume_internal))
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
+                    # A unit learnt lands on the root trail (no clause
+                    # object); export_learnts reads it back from there.
                     self._cancel_until(0)
                     if self._litval[learnt[0]] == -1:
                         self._ok = False
                         return False
                     if self._litval[learnt[0]] == 0:
                         self._enqueue(learnt[0], None)
+                        self.stats.learned += 1
                 else:
                     clause = _Clause(learnt, learnt=True)
                     clause.lbd = lbd
                     clause.act = self._cla_inc
                     self._learnts.append(clause)
-                    self._watches[learnt[0]].append(clause)
-                    self._watches[learnt[1]].append(clause)
+                    self._watches[learnt[0]].append((learnt[1], clause))
+                    self._watches[learnt[1]].append((learnt[0], clause))
                     self.stats.learned += 1
                     self._enqueue(learnt[0], clause)
                 self._var_inc *= self._var_decay
                 self._cla_inc *= self._cla_decay
+                if (
+                    self._var_decay_factor < 0.95
+                    and self.stats.conflicts % _DECAY_RAMP_INTERVAL == 0
+                ):
+                    self._var_decay_factor = min(
+                        0.95, self._var_decay_factor + 0.01
+                    )
+                    self._var_decay = 1.0 / self._var_decay_factor
             else:
                 if conflicts_since_restart >= restart_limit:
                     self.stats.restarts += 1

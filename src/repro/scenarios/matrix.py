@@ -65,6 +65,8 @@ class ScenarioCell:
     subspace_keys: int | None = None
     gate_reduction: float | None = None
     area_overhead: float | None = None
+    # Default covers payloads recorded before the backend registry.
+    solver: str = "python"
 
 
 @register_task("scenario_cell")
@@ -72,6 +74,7 @@ def _scenario_cell_task(params: dict) -> dict:
     """Worker: evaluate one (scheme, attack, engine, circuit, N) cell."""
     seed = params["seed"]
     effort = params["effort"]
+    solver = params.get("solver")
     time_limit = params.get("time_limit_per_task")
     original = iscas85_like(params["circuit"], params["scale"])
     scheme_params = dict(params.get("scheme_params") or {})
@@ -88,6 +91,7 @@ def _scenario_cell_task(params: dict) -> dict:
             effort=0,
             time_limit_per_task=time_limit,
             seed=seed,
+            solver=solver,
         )
         baseline_seconds = baseline.max_subtask_seconds
         baseline_status = baseline.status
@@ -105,6 +109,7 @@ def _scenario_cell_task(params: dict) -> dict:
         engine=params["engine"],
         attack=params["attack"],
         attack_params=params.get("attack_params") or {},
+        solver=solver,
     )
     if baseline_seconds is not None:
         ratio = attack.max_subtask_seconds / max(baseline_seconds, 1e-9)
@@ -170,6 +175,7 @@ def _scenario_cell_task(params: dict) -> dict:
             subspace_keys=subspace_keys,
             gate_reduction=gate_reduction,
             area_overhead=area_overhead,
+            solver=attack.solver,
         )
     )
 
@@ -184,6 +190,7 @@ def scenario_cell_task(
     scale: float,
     effort: int,
     seed: int,
+    solver: str | None = None,
     time_limit_per_task: float | None = None,
     max_dips_per_task: int | None = None,
     include_baseline: bool = False,
@@ -195,10 +202,13 @@ def scenario_cell_task(
     """The :class:`TaskSpec` for one matrix cell.
 
     Everything that determines the artifact — scheme, attack, engine,
-    circuit, budgets, the optional measurement blocks — is hashed;
-    inner-attack parallelism lives in the unhashed execution context,
-    so serial and fanned-out evaluations share cache entries.
+    solver backend, circuit, budgets, the optional measurement blocks —
+    is hashed (different backends may return different, equally valid,
+    keys); inner-attack parallelism lives in the unhashed execution
+    context, so serial and fanned-out evaluations share cache entries.
     """
+    from repro.sat.registry import resolve_solver_name
+
     return TaskSpec(
         kind="scenario_cell",
         params={
@@ -211,6 +221,7 @@ def scenario_cell_task(
             "scale": scale,
             "effort": effort,
             "seed": seed,
+            "solver": resolve_solver_name(solver),
             "time_limit_per_task": time_limit_per_task,
             "max_dips_per_task": max_dips_per_task,
             "include_baseline": include_baseline,
@@ -225,7 +236,7 @@ def scenario_cell_task(
 #: Flat CSV column order (list/dict fields serialize as canonical JSON).
 _CSV_COLUMNS = [
     "scheme", "scheme_params", "attack", "attack_params", "engine",
-    "engine_used", "circuit", "scale", "effort", "seed", "status",
+    "engine_used", "solver", "circuit", "scale", "effort", "seed", "status",
     "key_size", "gates", "max_dips", "uniform", "dips_per_task",
     "oracle_queries", "min_seconds", "mean_seconds", "max_seconds",
     "wall_seconds", "encode_seconds", "baseline_seconds",

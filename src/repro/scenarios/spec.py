@@ -23,6 +23,7 @@ from collections.abc import Mapping, Sequence
 from repro.attacks.registry import attack_info
 from repro.locking.registry import scheme_info
 from repro.runner import TaskSpec
+from repro.sat.registry import resolve_solver_name, solver_info
 
 #: The recognized multi-key engines (see repro.core.multikey).
 ENGINES = ("sharded", "reference")
@@ -61,6 +62,9 @@ class ScenarioSpec:
         efforts: Splitting efforts ``N`` (``2^N`` sub-spaces each).
         seeds: Seeds; each feeds the scheme (unless its params pin
             one), the splitting selection and the attack.
+        solver: Registered solver backend for every cell (``None`` ->
+            the process default, resolved to a concrete name at
+            construction so cells hash the backend that actually runs).
         time_limit_per_task / max_dips_per_task: Sub-attack budgets.
         include_baseline: Also run the ``N = 0`` exact-SAT baseline
             per cell and report the max-subtask/baseline ratio
@@ -88,6 +92,7 @@ class ScenarioSpec:
     scale: float = 0.25
     efforts: Sequence[int] = (1,)
     seeds: Sequence[int] = (0,)
+    solver: str | None = None
     time_limit_per_task: float | None = None
     max_dips_per_task: int | None = None
     include_baseline: bool = False
@@ -101,6 +106,7 @@ class ScenarioSpec:
         self.circuits = list(self.circuits)
         self.efforts = [int(n) for n in self.efforts]
         self.seeds = [int(s) for s in self.seeds]
+        self.solver = resolve_solver_name(self.solver)
         self.validate()
 
     def validate(self) -> None:
@@ -109,6 +115,7 @@ class ScenarioSpec:
             scheme_info(name)  # raises with the roster on a miss
         for name, _ in self.attacks:
             attack_info(name)
+        solver_info(self.solver)
         for engine in self.engines:
             if engine not in ENGINES:
                 known = ", ".join(ENGINES)
@@ -120,14 +127,18 @@ class ScenarioSpec:
             raise ValueError("every ScenarioSpec axis needs at least one entry")
 
     def effective_engines(self, attack: str) -> list[str]:
-        """The engine axis after resolving ``attack``'s capabilities.
+        """The engine axis after resolving the cell's capabilities.
 
-        Attacks with a ``shard_fn`` keep the requested engines; the
-        rest always run the reference path, so the axis collapses to a
-        single ``"reference"`` entry — otherwise identical cells would
-        execute (and cache) twice under two engine labels.
+        Attacks with a ``shard_fn`` on a backend with checkpoint frames
+        keep the requested engines; any other combination always runs
+        the reference path, so the axis collapses to a single
+        ``"reference"`` entry — otherwise identical cells would execute
+        (and cache) twice under two engine labels.
         """
-        if attack_info(attack).supports_shared_encoding:
+        if (
+            attack_info(attack).supports_shared_encoding
+            and solver_info(self.solver).supports_sharding
+        ):
             return list(self.engines)
         return ["reference"]
 
@@ -159,6 +170,7 @@ class ScenarioSpec:
                 scale=self.scale,
                 effort=effort,
                 seed=seed,
+                solver=self.solver,
                 time_limit_per_task=self.time_limit_per_task,
                 max_dips_per_task=self.max_dips_per_task,
                 include_baseline=self.include_baseline,
@@ -183,7 +195,7 @@ class ScenarioSpec:
         """
         known = {
             "schemes", "attacks", "engines", "circuits", "scale",
-            "efforts", "seeds", "time_limit_per_task",
+            "efforts", "seeds", "solver", "time_limit_per_task",
             "max_dips_per_task", "include_baseline",
             "verify_composition", "measure_resistance",
         }
@@ -199,6 +211,7 @@ class ScenarioSpec:
             "scale": self.scale,
             "efforts": list(self.efforts),
             "seeds": list(self.seeds),
+            "solver": self.solver,
             "time_limit_per_task": self.time_limit_per_task,
             "max_dips_per_task": self.max_dips_per_task,
             "include_baseline": self.include_baseline,

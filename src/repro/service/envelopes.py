@@ -92,6 +92,7 @@ class MatrixRequest:
     scale: float = 0.25
     efforts: list = field(default_factory=lambda: [1])
     seeds: list = field(default_factory=lambda: [0])
+    solver: str | None = None
     time_limit_per_task: float | None = None
     max_dips_per_task: int | None = None
     include_baseline: bool = False
@@ -124,6 +125,7 @@ class MatrixRequest:
             scale=self.scale,
             efforts=self.efforts,
             seeds=self.seeds,
+            solver=self.solver,
             time_limit_per_task=self.time_limit_per_task,
             max_dips_per_task=self.max_dips_per_task,
             include_baseline=self.include_baseline,
@@ -151,15 +153,19 @@ class AttackRequest:
     effort: int = 2
     scale: float = 0.25
     seed: int = 0
+    solver: str | None = None
     time_limit_per_task: float | None = None
     parallel: bool = False
 
     def __post_init__(self) -> None:
         from repro.attacks.registry import attack_info
         from repro.locking.registry import scheme_info
+        from repro.sat.registry import solver_info
 
         scheme_info(self.scheme)
         attack_info(self.attack)
+        if self.solver is not None:
+            solver_info(self.solver)  # raises with the roster on a miss
         if self.engine not in ENGINES:
             known = ", ".join(ENGINES)
             raise EnvelopeError(

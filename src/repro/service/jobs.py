@@ -455,6 +455,7 @@ def _execute_attack(service: Service, job: Job) -> tuple[dict, str]:
         engine=request.engine,
         attack=request.attack,
         attack_params=request.attack_params,
+        solver=request.solver,
         runner=runner,
     )
 
