@@ -119,3 +119,59 @@ def test_sharded_vs_reference_multikey(benchmark):
             f"sharded engine only {speedup:.2f}x the reference arm on "
             f"{label} (floor is 2x)"
         )
+
+
+def test_real_corpus_multikey_tier(benchmark):
+    """Corpus tier: the genuine-format c432 under the multi-key premise.
+
+    Both engines attack the real netlist at full size (no ``scale``
+    knob on corpus circuits) and must agree — same statuses, identical
+    SARLock #DIP, CEC-equivalent compositions.  No engine floor is
+    enforced at 160 gates; the tier exists so ``BENCH_multikey.json``
+    tracks a real-circuit line per run.
+    """
+    from repro.bench_circuits.corpus import load_corpus
+
+    effort = 3
+    original = load_corpus("real_c432")
+    locked = sarlock_lock(original, 6, seed=1)
+
+    start = time.perf_counter()
+    ref = multikey_attack(locked, original, effort=effort)
+    ref_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = sharded_multikey_attack(locked, original, effort=effort)
+    sharded_seconds = time.perf_counter() - start
+
+    assert ref.status == sharded.status == "ok"
+    assert sharded.dips_per_task == ref.dips_per_task
+    for engine_result in (ref, sharded):
+        assert verify_composition(
+            locked,
+            engine_result.splitting_inputs,
+            engine_result.keys,
+            original,
+        ).equivalent
+
+    append_trajectory(
+        "multikey",
+        [
+            {
+                "ts": time.time(),
+                "tier": "corpus",
+                "case": "real_c432+sarlock6",
+                "effort": effort,
+                "gates": locked.netlist.num_gates,
+                "reference_s": round(ref_seconds, 4),
+                "sharded_s": round(sharded_seconds, 4),
+                "total_dips": sum(sharded.dips_per_task),
+                "speedup": round(ref_seconds / sharded_seconds, 2),
+            }
+        ],
+    )
+    benchmark.pedantic(
+        lambda: sharded_multikey_attack(locked, original, effort=effort),
+        rounds=2,
+        iterations=1,
+    )

@@ -74,6 +74,41 @@ def test_bit_parallel_simulation(benchmark):
     assert len(tables) == len(netlist.outputs)
 
 
+def test_evaluate_pattern_scratch_reuse(benchmark):
+    """Per-pattern queries must not re-allocate their word lists.
+
+    ``evaluate_pattern`` is the oracle's ``query_int`` hot path; it now
+    refills a per-circuit scratch list instead of rebuilding python
+    lists per call.  The guard compares 4096 single-pattern queries
+    against one bit-parallel batch over the same patterns: parity
+    exactly, and wall-clock within a bound loose enough for machine
+    noise but tight enough to catch per-call setup creeping back in.
+    """
+    import time as _time
+
+    netlist = iscas85_like("c880", 0.5, match_interface=False)
+    compiled = netlist.compile()
+    patterns = list(range(4096))
+
+    def per_pattern():
+        return [compiled.evaluate_pattern(p) for p in patterns]
+
+    single_results = benchmark.pedantic(per_pattern, rounds=3, iterations=1)
+    start = _time.perf_counter()
+    batch_results = compiled.eval_batch(patterns, lanes="python")
+    batch_s = _time.perf_counter() - start
+    assert single_results == batch_results  # parity with the batch path
+    single_s = benchmark.stats.stats.min
+    benchmark.extra_info["per_pattern_vs_batch"] = round(single_s / batch_s, 1)
+    # Generous bound: per-pattern costs ~an order of magnitude more
+    # than one 4096-lane sweep; 30x headroom catches only genuine
+    # per-call allocation regressions, not machine noise.
+    assert single_s <= batch_s * 30, (
+        f"evaluate_pattern loop {single_s:.4f}s vs batch {batch_s:.4f}s "
+        "— per-call overhead regressed"
+    )
+
+
 def test_single_sat_attack_iteration_cost(benchmark):
     """Full (small) SAT attack — the inner engine of every experiment."""
     original = iscas85_like("c1908", 0.3)

@@ -572,6 +572,7 @@ def verify_key_against_oracle(
     num_samples: int = 64,
     seed: int = 0,
     pin: Mapping[str, bool] | None = None,
+    lanes: str | None = None,
 ) -> bool:
     """Attacker-side sanity check: keyed circuit vs oracle on random inputs.
 
@@ -579,7 +580,9 @@ def verify_key_against_oracle(
     them; random differential testing against the oracle is the
     realistic check.  ``pin`` restricts sampled patterns to a sub-space.
     All ``num_samples`` patterns run as ONE bit-parallel sweep on each
-    side (the oracle still counts ``num_samples`` queries).
+    side (the oracle still counts ``num_samples`` queries); ``lanes``
+    picks the attacker-side evaluation backend (the oracle side uses
+    its own lever) without affecting the RNG stream or the result.
     """
     import random
 
@@ -589,8 +592,12 @@ def verify_key_against_oracle(
     keyed = locked.apply_key(key)
     compiled = keyed.compile()
     stimuli = random_stimuli_words(compiled.inputs, num_samples, rng, pin)
-    got = compiled.eval_mapping(stimuli, (1 << num_samples) - 1)
-    expected = oracle.query_vector(stimuli, num_samples)
-    return all(
-        got[compiled.slot_of[po]] == expected[po] for po in expected
+    words = [stimuli[net] for net in compiled.inputs]
+    got = dict(
+        zip(
+            compiled.outputs,
+            compiled.eval_outputs_wide(words, num_samples, lanes=lanes),
+        )
     )
+    expected = oracle.query_vector(stimuli, num_samples)
+    return all(got[po] == expected[po] for po in expected)

@@ -1,0 +1,201 @@
+"""Genuine-format ``.bench`` circuit corpus.
+
+The stand-ins in :mod:`repro.bench_circuits.iscas85` are *constructed*
+netlists; this module is the seam for circuits that arrive as real
+``.bench`` files — the shipped ISCAS'85-profile reconstructions under
+``data/`` and any user-supplied netlist registered at runtime.  A
+registered circuit is addressable everywhere a stand-in is: scenario
+matrix cells, ``AttackRequest`` envelopes, and the CLI all resolve
+circuit names through :func:`resolve_circuit`.
+
+Registration invariants
+-----------------------
+
+* **Content hash is cache identity.**  Each entry records the
+  ``CompiledCircuit.content_hash()`` of its parsed netlist; matrix and
+  task caches key on circuit *structure*, so editing a registered file
+  changes the hash and every dependent cache entry misses instead of
+  serving stale results.  Re-registering the same name with identical
+  content is an idempotent no-op; with different content it is an
+  error (pick a new name).
+* **Corpus names never shadow stand-ins.**  Registering ``c432`` is
+  rejected: the stand-in namespace keys existing golden results and
+  cache entries.  The shipped files use the ``real_`` prefix
+  (``real_c432``, ``real_c499``, ``real_c880``).
+* **Loads are fresh.**  :func:`load_corpus` re-parses per call so
+  callers can mutate (lock, rename) without poisoning the registry.
+* **Scale does not apply.**  Real netlists are fixed-size artifacts;
+  :func:`resolve_circuit` ignores the ``scale`` knob for corpus names
+  and only applies it to stand-ins.
+
+::
+
+    >>> sorted(corpus_names())
+    ['real_c432', 'real_c499', 'real_c880']
+    >>> entry = corpus_entry("real_c432")
+    >>> (entry.num_inputs, entry.num_outputs, entry.num_gates)
+    (36, 7, 160)
+    >>> netlist = load_corpus("real_c432")
+    >>> netlist.compile().content_hash() == entry.content_hash
+    True
+    >>> resolve_circuit("real_c432").num_gates     # corpus: scale ignored
+    160
+    >>> resolve_circuit("c17").num_gates           # stand-in fallback
+    6
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench_circuits.iscas85 import ISCAS85_PROFILES, c17, iscas85_like
+from repro.circuit.bench import parse_bench
+from repro.circuit.netlist import Netlist
+
+_DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: Stand-in names resolvable next to the corpus (c17 is genuine but
+#: embedded, not file-backed).
+_STANDIN_NAMES = frozenset(ISCAS85_PROFILES) | {"c17"}
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One registered ``.bench`` file and its structural fingerprint."""
+
+    name: str
+    path: str
+    content_hash: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    source: str
+
+    def profile(self) -> dict[str, int]:
+        return {
+            "pi": self.num_inputs,
+            "po": self.num_outputs,
+            "gates": self.num_gates,
+        }
+
+
+_REGISTRY: dict[str, CorpusEntry] = {}
+
+
+class CorpusError(ValueError):
+    """Registration or lookup failure."""
+
+
+def register_corpus_file(
+    path: str | os.PathLike[str],
+    name: str | None = None,
+    source: str = "user",
+) -> CorpusEntry:
+    """Parse, fingerprint, and register a ``.bench`` file.
+
+    ``name`` defaults to the file stem.  See the module docstring for
+    the naming and re-registration invariants.
+    """
+    path = Path(path)
+    name = name or path.stem
+    if name in _STANDIN_NAMES:
+        raise CorpusError(
+            f"corpus name {name!r} would shadow the {name!r} stand-in; "
+            f"register it under a distinct name (e.g. 'real_{name}')"
+        )
+    text = path.read_text()
+    netlist = parse_bench(text, name=name)
+    netlist.validate()
+    content_hash = netlist.compile().content_hash()
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing.content_hash == content_hash:
+            return existing
+        raise CorpusError(
+            f"corpus name {name!r} already registered with different "
+            f"content (hash {existing.content_hash[:12]} != "
+            f"{content_hash[:12]}); pick a new name"
+        )
+    entry = CorpusEntry(
+        name=name,
+        path=str(path),
+        content_hash=content_hash,
+        num_inputs=len(netlist.inputs),
+        num_outputs=len(netlist.outputs),
+        num_gates=netlist.num_gates,
+        source=source,
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def corpus_names() -> list[str]:
+    """Registered corpus circuit names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def corpus_entry(name: str) -> CorpusEntry:
+    """Registry record for ``name`` (raises :class:`CorpusError`)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CorpusError(
+            f"unknown corpus circuit {name!r}; registered: {corpus_names()}"
+        ) from None
+
+
+def load_corpus(name: str) -> Netlist:
+    """Freshly parsed netlist for a registered corpus circuit.
+
+    Verifies the file still matches its registered content hash, so a
+    file edited after registration fails loudly instead of silently
+    shipping a different circuit under a cached identity.
+    """
+    entry = corpus_entry(name)
+    netlist = parse_bench(Path(entry.path).read_text(), name=name)
+    if netlist.compile().content_hash() != entry.content_hash:
+        raise CorpusError(
+            f"corpus file {entry.path!r} changed on disk since "
+            f"registration of {name!r}; re-register under a new name"
+        )
+    return netlist
+
+
+def known_circuit(name: str) -> bool:
+    """True if ``name`` resolves to a corpus entry or a stand-in."""
+    return name in _REGISTRY or name in _STANDIN_NAMES
+
+
+def circuit_names() -> list[str]:
+    """Every resolvable circuit name: corpus entries then stand-ins."""
+    return corpus_names() + sorted(_STANDIN_NAMES)
+
+
+def resolve_circuit(name: str, scale: float = 1.0) -> Netlist:
+    """Resolve a circuit name: corpus first, stand-ins second.
+
+    Corpus circuits are fixed-size real netlists, so ``scale`` is
+    ignored for them (see the module docstring); stand-ins receive it
+    unchanged.
+    """
+    if name in _REGISTRY:
+        return load_corpus(name)
+    if name == "c17":
+        return c17()
+    if name in ISCAS85_PROFILES:
+        return iscas85_like(name, scale)
+    raise CorpusError(
+        f"unknown circuit {name!r}; choose from {circuit_names()}"
+    )
+
+
+def _register_builtin() -> None:
+    for path in sorted(_DATA_DIR.glob("*.bench")):
+        register_corpus_file(
+            path, source="builtin reconstruction (see data/README.md)"
+        )
+
+
+_register_builtin()

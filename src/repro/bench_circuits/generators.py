@@ -249,6 +249,101 @@ def priority_controller(
     return netlist
 
 
+def keyed_match_plane(
+    terms: int = 768,
+    taps: int = 16,
+    bus: int = 64,
+    seed: int = 7,
+    name: str | None = None,
+) -> Netlist:
+    """Wide, shallow keyed match/decode fabric (PLA-plane shape).
+
+    The SARLock/Anti-SAT point-function comparator — ``AND`` over
+    ``XNOR(x_i, k_i)`` taps — replicated as ``terms`` parallel product
+    terms over a shared ``bus``-bit data bus and ``bus``-bit key bus,
+    with an OR-plane summarizing the match lines.  Each term compares
+    ``taps`` pseudo-random (data bit, key bit) pairs; the reductions
+    use alternating NAND/NOR planes, the standard-cell mapping of
+    AND/OR trees (inverting gates are the cheap ones in CMOS).
+
+    Every level holds one opcode, so the circuit is the numpy lane
+    backend's best case: ~25k gates collapse into ~15 vector stages.
+    It is the large-circuit tier workload in
+    ``benchmarks/test_bench_sim.py`` — deliberately the *opposite*
+    shape of :func:`array_multiplier`, whose deep carry chains are the
+    big-int path's best case.
+    """
+    import random
+
+    rng = random.Random(seed)
+    netlist = Netlist(name or f"match{terms}x{taps}")
+    x = _inputs(netlist, "x", bus)
+    k = _inputs(netlist, "k", bus)
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"mp{counter}"
+
+    def inverting_reduce(nets: list[str], first: GateType) -> list[list[str]]:
+        """Pairwise-reduce with alternating NAND/NOR planes.
+
+        Two consecutive inverting planes compute one non-inverting
+        reduction level (De Morgan), so starting from NAND this is an
+        AND tree and from NOR an OR tree.  Odd leftovers are re-gated
+        alone (a two-tied-input NAND/NOR is an inverter) to keep every
+        net of a plane at the same inversion phase.  Returns the list
+        of planes, narrowest last.
+        """
+        other = GateType.NOR if first is GateType.NAND else GateType.NAND
+        planes = []
+        cur = nets
+        depth = 0
+        while len(cur) > 1:
+            kind = first if depth % 2 == 0 else other
+            nxt = []
+            for i in range(0, len(cur) - 1, 2):
+                g = fresh()
+                netlist.add_gate(g, kind, [cur[i], cur[i + 1]])
+                nxt.append(g)
+            if len(cur) % 2:
+                g = fresh()
+                netlist.add_gate(g, kind, [cur[-1], cur[-1]])
+                nxt.append(g)
+            planes.append(nxt)
+            cur = nxt
+            depth += 1
+        if depth % 2:  # odd plane count: the tree is still inverted
+            g = fresh()
+            netlist.add_gate(g, other, [cur[0], cur[0]])
+            planes.append([g])
+        return planes
+
+    lines = []
+    for _ in range(terms):
+        tap_nets = []
+        for _ in range(taps):
+            g = fresh()
+            netlist.add_gate(
+                g, GateType.XNOR, [rng.choice(x), rng.choice(k)]
+            )
+            tap_nets.append(g)
+        lines.append(inverting_reduce(tap_nets, GateType.NAND)[-1][0])
+
+    or_planes = inverting_reduce(lines, GateType.NOR)
+    group = next((p for p in or_planes if len(p) <= 96), or_planes[-1])
+    outputs = []
+    for i, net in enumerate(group):
+        out = f"m{i}"
+        netlist.add_gate(out, GateType.BUF, [net])
+        outputs.append(out)
+    netlist.add_gate("hit", GateType.BUF, [or_planes[-1][-1]])
+    netlist.set_outputs(outputs + ["hit"])
+    netlist.validate()
+    return netlist
+
+
 def expand_xor_to_nand(netlist: Netlist) -> Netlist:
     """Dissolve 2-input XOR/XNOR gates into 4-NAND structures.
 

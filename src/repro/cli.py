@@ -16,9 +16,11 @@ daemon.  Subcommands map one-to-one onto request envelopes::
     repro-lock attack --engine reference ...   # literal Algorithm 1 arm
     repro-lock matrix --schemes sarlock,xor --attacks sat,appsat \
         --engines sharded,reference --circuits c432 --efforts 1,2
+    repro-lock matrix --circuits real_c432 --lanes numpy   # real corpus
     repro-lock matrix --list-schemes           # registry rosters
     repro-lock matrix --list-attacks
     repro-lock bench --circuit c7552 --scale 0.3 --out c7552.bench
+    repro-lock bench --circuit real_c880 --out real_c880.bench
     repro-lock serve                           # JSON-lines daemon (stdio)
     repro-lock serve --port 8642 --jobs 8      # ... or TCP
     repro-lock cache info
@@ -36,6 +38,13 @@ out over a process pool, ``--cache-dir`` relocates the on-disk result
 cache (default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-lock``) and
 ``--no-cache`` disables it.  A warm cache replays a table without
 re-solving anything.
+
+Anywhere a circuit name is accepted, genuine ``.bench`` corpus
+circuits (``real_c432``/``real_c499``/``real_c880``, plus any file
+registered via ``repro.bench_circuits.register_corpus_file``) work
+exactly like the stand-ins; ``--lanes`` picks the simulation backend
+for wide sweeps (``auto`` uses numpy when installed and worthwhile —
+the choice never changes results, only wall-clock).
 """
 
 from __future__ import annotations
@@ -70,6 +79,11 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--quiet", action="store_true",
         help="suppress per-task progress lines on stderr",
+    )
+    group.add_argument(
+        "--lanes", choices=("auto", "python", "numpy"), default=None,
+        help="simulation lane backend for wide sweeps (default: auto — "
+             "numpy when installed and the sweep is large enough)",
     )
 
 
@@ -576,6 +590,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "lanes", None):
+        # Process default plus REPRO_LANES so spawned workers inherit
+        # the lever under any start method; results are identical on
+        # every backend — this only moves wall-clock.
+        import os
+
+        from repro.circuit.lanes import set_default_lanes
+
+        set_default_lanes(args.lanes)
+        os.environ["REPRO_LANES"] = args.lanes
     return args.func(args)
 
 

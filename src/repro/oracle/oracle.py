@@ -16,21 +16,37 @@ query.  ``query`` and ``query_int`` add 1; ``query_batch`` adds
 ``len(patterns)``; ``query_vector`` adds ``width``.  A batched call is
 therefore cost-equivalent to the per-pattern loop it replaces — the
 batching buys wall-clock speed, not a lower reported oracle count.
+
+Wide sweeps run behind the lane-backend lever (see
+:mod:`repro.circuit.lanes`): ``query_batch`` chunks its patterns at
+the active backend's preferred sweep width — one giant big-int sweep
+thrashes the cache on the python backend, while numpy wants batches
+wide enough to amortize its stage overhead — and ``query_vector``
+dispatches through the same lever.  Chunking is invisible in results
+*and* in accounting: responses are concatenated in pattern order and
+the query count stays one per pattern.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from repro.circuit.lanes import preferred_chunk_lanes, resolve_lanes
 from repro.circuit.netlist import Netlist
 
 
 class Oracle:
-    """Query-only wrapper around the original circuit."""
+    """Query-only wrapper around the original circuit.
 
-    def __init__(self, original: Netlist):
+    ``lanes`` picks the evaluation backend for bit-parallel queries
+    (``None`` -> the process default, normally ``"auto"``); results
+    are backend-independent by the lane-parity contract.
+    """
+
+    def __init__(self, original: Netlist, lanes: str | None = None):
         self._netlist = original
         self._compiled = original.compile()
+        self._lanes = lanes
         self.query_count = 0
 
     @property
@@ -78,7 +94,24 @@ class Oracle:
             4
         """
         self.query_count += len(patterns)
-        return self._compiled.eval_batch(patterns)
+        compiled = self._compiled
+        backend = resolve_lanes(
+            self._lanes,
+            num_gates=compiled.num_gates,
+            width=len(patterns),
+            stages=compiled.lane_stage_hint()[1],
+        )
+        chunk = preferred_chunk_lanes(backend)
+        if len(patterns) <= chunk:
+            return compiled.eval_batch(patterns, lanes=backend)
+        results: list[int] = []
+        for start in range(0, len(patterns), chunk):
+            results.extend(
+                compiled.eval_batch(
+                    patterns[start : start + chunk], lanes=backend
+                )
+            )
+        return results
 
     def query_vector(
         self, stimuli: Mapping[str, int], width: int
@@ -92,5 +125,11 @@ class Oracle:
             raise ValueError("width must be positive")
         self.query_count += width
         compiled = self._compiled
-        values = compiled.eval_mapping(stimuli, (1 << width) - 1)
-        return {net: values[compiled.slot_of[net]] for net in compiled.outputs}
+        try:
+            words = [stimuli[name] for name in compiled.inputs]
+        except KeyError as exc:
+            raise KeyError(
+                f"missing value for primary input {exc.args[0]!r}"
+            ) from None
+        outputs = compiled.eval_outputs_wide(words, width, lanes=self._lanes)
+        return dict(zip(compiled.outputs, outputs))

@@ -18,7 +18,7 @@ import io
 import json
 from dataclasses import asdict, dataclass, field, replace
 
-from repro.bench_circuits.iscas85 import iscas85_like
+from repro.bench_circuits.corpus import resolve_circuit
 from repro.core.compose import verify_composition
 from repro.core.multikey import multikey_attack
 from repro.locking.registry import lock_circuit
@@ -76,7 +76,7 @@ def _scenario_cell_task(params: dict) -> dict:
     effort = params["effort"]
     solver = params.get("solver")
     time_limit = params.get("time_limit_per_task")
-    original = iscas85_like(params["circuit"], params["scale"])
+    original = resolve_circuit(params["circuit"], params["scale"])
     scheme_params = dict(params.get("scheme_params") or {})
     scheme_params.setdefault("seed", seed)
     locked = lock_circuit(params["scheme"], original, **scheme_params)

@@ -56,8 +56,9 @@ class ScenarioSpec:
         engines: Multi-key engine axis (``"sharded"`` and/or
             ``"reference"``; a sharded cell whose attack cannot share
             an encoding runs the reference path and reports it).
-        circuits: ISCAS-class carrier-circuit names
-            (:func:`repro.bench_circuits.iscas85.iscas85_like`).
+        circuits: Carrier-circuit names — corpus entries (e.g. the
+            shipped ``real_c432``) or ISCAS-class stand-ins, resolved
+            via :func:`repro.bench_circuits.corpus.resolve_circuit`.
         scale: Carrier-circuit scale factor.
         efforts: Splitting efforts ``N`` (``2^N`` sub-spaces each).
         seeds: Seeds; each feeds the scheme (unless its params pin
@@ -121,6 +122,14 @@ class ScenarioSpec:
                 known = ", ".join(ENGINES)
                 raise ValueError(
                     f"unknown engine {engine!r} (known: {known})"
+                )
+        from repro.bench_circuits.corpus import circuit_names, known_circuit
+
+        for circuit in self.circuits:
+            if not known_circuit(circuit):
+                raise ValueError(
+                    f"unknown circuit {circuit!r} (known: "
+                    f"{', '.join(circuit_names())})"
                 )
         if not (self.schemes and self.attacks and self.engines
                 and self.circuits and self.efforts and self.seeds):

@@ -81,6 +81,8 @@ class MatrixRequest:
     in a JSON-normal form: scheme/attack axes are ``[name, params]``
     pairs (any :func:`~repro.scenarios.spec.normalize_axis` shape is
     accepted on input).  ``to_spec()`` produces the validated spec.
+    ``circuits`` accepts corpus names (e.g. ``real_c432``) next to
+    stand-ins; ``scale`` applies to stand-ins only.
     """
 
     kind: ClassVar[str] = "matrix"
@@ -140,6 +142,9 @@ class AttackRequest:
 
     The service-level twin of the CLI ``attack`` subcommand: scheme and
     attack names resolve against the registries at construction.
+    ``circuit`` resolves corpus-first (``real_c432`` names the genuine
+    ``.bench`` file; ``c432`` the stand-in) and ``scale`` only applies
+    to stand-ins.
     """
 
     kind: ClassVar[str] = "attack"
@@ -217,7 +222,7 @@ class ExperimentRequest:
 
 @dataclass
 class BenchRequest:
-    """Emit an ISCAS-class stand-in circuit as ``.bench`` text."""
+    """Emit a named circuit (stand-in or corpus entry) as ``.bench`` text."""
 
     kind: ClassVar[str] = "bench"
 

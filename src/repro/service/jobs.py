@@ -414,7 +414,7 @@ def _coerce_table2_params(params: dict) -> dict:
 
 
 def _execute_attack(service: Service, job: Job) -> tuple[dict, str]:
-    from repro.bench_circuits.iscas85 import iscas85_like
+    from repro.bench_circuits.corpus import resolve_circuit
     from repro.core.compose import verify_composition
     from repro.core.multikey import multikey_attack
     from repro.locking.registry import lock_circuit
@@ -429,7 +429,7 @@ def _execute_attack(service: Service, job: Job) -> tuple[dict, str]:
             "total": 1 << request.effort,
         },
     )
-    original = iscas85_like(request.circuit, request.scale)
+    original = resolve_circuit(request.circuit, request.scale)
     scheme_params = dict(request.scheme_params)
     scheme_params.setdefault("seed", request.seed)
     locked = lock_circuit(request.scheme, original, **scheme_params)
@@ -479,12 +479,12 @@ def _execute_attack(service: Service, job: Job) -> tuple[dict, str]:
 
 
 def _execute_bench(service: Service, job: Job) -> tuple[dict, str]:
-    from repro.bench_circuits.iscas85 import iscas85_like
+    from repro.bench_circuits.corpus import resolve_circuit
     from repro.circuit.bench import format_bench
 
     request: BenchRequest = job.request
     job.emit("job_started", {"kind": request.kind, "total": 1})
-    netlist = iscas85_like(request.circuit, request.scale)
+    netlist = resolve_circuit(request.circuit, request.scale)
     return {"name": str(netlist), "text": format_bench(netlist)}, "ok"
 
 
