@@ -23,6 +23,8 @@ daemon.  Subcommands map one-to-one onto request envelopes::
     repro-lock bench --circuit real_c880 --out real_c880.bench
     repro-lock serve                           # JSON-lines daemon (stdio)
     repro-lock serve --port 8642 --jobs 8      # ... or TCP
+    repro-lock serve --http 8080 --jobs 8 --max-pending 64 \
+        --cache-backend sharded                # ... or the HTTP gateway
     repro-lock cache info
 
 ``attack``/``table1``/``table2`` pick the multi-key engine with
@@ -73,6 +75,11 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
              "or ~/.cache/repro-lock)",
     )
     group.add_argument(
+        "--cache-backend", default=None,
+        help="cache storage backend: directory | sharded | memory "
+             "(default: $REPRO_CACHE_BACKEND or directory)",
+    )
+    group.add_argument(
         "--no-cache", action="store_true",
         help="neither read nor write the result cache",
     )
@@ -97,11 +104,14 @@ def _add_envelope_arg(
     )
 
 
-def _open_cache(cache_dir: str):
+def _open_cache(cache_dir: str, backend: str | None = None):
     from repro.runner import ResultCache
 
-    cache = ResultCache(cache_dir or None)
-    if cache.root.exists() and not cache.root.is_dir():
+    try:
+        cache = ResultCache(cache_dir or None, backend=backend)
+    except ValueError as error:  # unknown backend name, with the roster
+        raise SystemExit(f"repro-lock: error: {error}")
+    if cache.root is not None and cache.root.exists() and not cache.root.is_dir():
         raise SystemExit(
             f"repro-lock: error: cache dir {cache.root} exists and is "
             "not a directory"
@@ -113,9 +123,16 @@ def _make_service(args: argparse.Namespace, inner_parallel: bool = False):
     """The one place CLI runner flags become an execution Service."""
     from repro.service import Service
 
-    cache = None if args.no_cache else _open_cache(args.cache_dir)
+    cache = (
+        None
+        if args.no_cache
+        else _open_cache(args.cache_dir, getattr(args, "cache_backend", None))
+    )
     return Service(
-        jobs=max(1, args.jobs), cache=cache, inner_parallel=inner_parallel
+        jobs=max(1, args.jobs),
+        cache=cache,
+        inner_parallel=inner_parallel,
+        max_pending=getattr(args, "max_pending", None),
     )
 
 
@@ -365,36 +382,71 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.daemon import create_tcp_server, serve_stdio
+    from repro.service.http import create_http_server
 
     service = _make_service(args)
+    servers = []
     if args.port is not None:
         server = create_tcp_server(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
-        print(f"repro-lock serve: listening on {host}:{port}", file=sys.stderr)
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            server.server_close()
-    else:
+        print(
+            f"repro-lock serve: listening on {host}:{port} (tcp)",
+            file=sys.stderr,
+        )
+        servers.append(server)
+    if args.http is not None:
+        server = create_http_server(service, host=args.host, port=args.http)
+        host, port = server.server_address[:2]
+        print(
+            f"repro-lock serve: listening on {host}:{port} (http)",
+            file=sys.stderr,
+        )
+        servers.append(server)
+    if not servers:
         serve_stdio(service)
+        return 0
+    # All but the last transport run on background threads; the last
+    # owns the foreground (Ctrl-C stops everything).
+    import threading
+
+    threads = [
+        threading.Thread(target=server.serve_forever, daemon=True)
+        for server in servers[:-1]
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        servers[-1].serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for server in servers[:-1]:
+            server.shutdown()
+        for server in servers:
+            server.server_close()
+        for thread in threads:
+            thread.join(timeout=10)
     return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    cache = _open_cache(args.cache_dir)
+    # Everything below goes through the backend-agnostic ResultCache
+    # surface (kinds/entry_count/clear), so `cache info` prints the
+    # same text for the same contents whatever backend stores them.
+    cache = _open_cache(args.cache_dir, args.cache_backend)
+    where = cache.root if cache.root is not None else cache.describe()
     if args.action == "clear":
         removed = cache.clear(kind=args.kind or None)
-        print(f"removed {removed} artifact(s) from {cache.root}")
+        print(f"removed {removed} artifact(s) from {where}")
     else:
-        print(f"cache dir: {cache.root}")
-        if not cache.root.is_dir():
+        print(f"cache dir: {where}")
+        kinds = cache.kinds()
+        if not kinds:
             print("  (empty — nothing cached yet)")
             return 0
-        for kind_dir in sorted(p for p in cache.root.iterdir() if p.is_dir()):
-            count = cache.entry_count(kind_dir.name)
-            print(f"  {kind_dir.name}: {count} artifact(s)")
+        for kind in kinds:
+            count = cache.entry_count(kind)
+            print(f"  {kind}: {count} artifact(s)")
     return 0
 
 
@@ -566,15 +618,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="run the JSON-lines job daemon (stdio, or TCP with --port)",
+        help="run the job daemon (stdio JSON lines, TCP with --port, "
+             "HTTP with --http)",
     )
     p.add_argument(
         "--port", type=int, default=None,
         help="listen on TCP instead of stdio (0 picks a free port)",
     )
     p.add_argument(
+        "--http", type=int, default=None,
+        help="also/instead serve the HTTP/JSON gateway on this port "
+             "(0 picks a free port)",
+    )
+    p.add_argument(
         "--host", default="127.0.0.1",
-        help="TCP bind address (default: 127.0.0.1)",
+        help="bind address for TCP and HTTP (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=None,
+        help="admission control: refuse submissions past this many "
+             "unfinished jobs (queue_full / HTTP 503 + Retry-After; "
+             "default: unbounded)",
     )
     _add_runner_args(p)
     p.set_defaults(func=_cmd_serve)
@@ -583,6 +647,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=("info", "clear"))
     p.add_argument("--kind", default="", help="limit clear to one task kind")
     p.add_argument("--cache-dir", default="")
+    p.add_argument(
+        "--cache-backend", default=None,
+        help="cache storage backend: directory | sharded | memory "
+             "(default: $REPRO_CACHE_BACKEND or directory)",
+    )
     p.set_defaults(func=_cmd_cache)
 
     return parser

@@ -16,6 +16,18 @@ Typical use::
     result = run_table2(circuits=("c880", "c1355"), runner=runner)
 """
 
+from repro.runner.backends import (
+    CACHE_BACKEND_ENV,
+    DEFAULT_CACHE_BACKEND,
+    CacheBackend,
+    CacheBackendInfo,
+    cache_backend_info,
+    create_cache_backend,
+    default_cache_backend_name,
+    register_cache_backend,
+    registered_cache_backends,
+    resolve_cache_backend_name,
+)
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.runner.executor import (
     Runner,
@@ -35,19 +47,29 @@ from repro.runner.task import (
 )
 
 __all__ = [
+    "CACHE_BACKEND_ENV",
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_BACKEND",
+    "CacheBackend",
+    "CacheBackendInfo",
     "ResultCache",
     "Runner",
     "TaskResult",
     "TaskSpec",
+    "cache_backend_info",
     "canonical_json",
     "chunk_evenly",
+    "create_cache_backend",
+    "default_cache_backend_name",
     "default_cache_dir",
     "map_parallel",
     "print_progress",
     "progress_line",
+    "register_cache_backend",
     "register_task",
+    "registered_cache_backends",
     "registered_kinds",
+    "resolve_cache_backend_name",
     "task_worker",
 ]

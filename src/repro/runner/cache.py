@@ -1,6 +1,16 @@
-"""On-disk result cache keyed by task content hashes.
+"""Content-hash-keyed result cache over a pluggable storage backend.
 
-Layout (one JSON artifact per task)::
+:class:`ResultCache` owns the cache *policy* — mapping a
+:class:`~repro.runner.task.TaskSpec` to its ``(kind, sha256)``
+identity, the entry schema (spec provenance + compute time + payload),
+schema-version validation and hit/miss accounting.  The *storage*
+lives behind a :class:`~repro.runner.backends.CacheBackend` chosen at
+construction (``directory`` | ``sharded`` | ``memory``; see
+:mod:`repro.runner.backends` for the registry and the "adding a cache
+backend" guide in ``docs/ARCHITECTURE.md``).
+
+Default layout (the ``directory`` backend, one JSON artifact per
+task)::
 
     <cache_root>/
         scenario_cell/<sha256>.json
@@ -13,20 +23,19 @@ Entries are written atomically (temp file + rename) so a crashed or
 parallel run never leaves a half-written artifact; unreadable entries
 are treated as misses and overwritten.
 
-Invalidation is by deletion: remove a ``<kind>`` directory (or the
-whole root) to force recomputation, or bump
+Invalidation is by deletion: ``clear()`` (or removing a ``<kind>``
+directory / the whole root for on-disk backends), or bump
 :data:`repro.runner.task.CACHE_FORMAT_VERSION` in code when the
 artifact schema itself changes.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
 import time
 from pathlib import Path
 
+from repro.runner.backends import CacheBackend, create_cache_backend
 from repro.runner.task import CACHE_FORMAT_VERSION, TaskSpec
 
 #: Environment override for the default cache location.
@@ -42,37 +51,57 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """A directory of content-addressed experiment artifacts."""
+    """A store of content-addressed experiment artifacts.
 
-    def __init__(self, root: str | Path | None = None) -> None:
-        root = Path(root).expanduser() if root is not None else default_cache_dir()
-        self.root = root
+    Args:
+        root: Store directory for on-disk backends (``None``: the
+            process default, see :func:`default_cache_dir`).  Ignored
+            by backends without a filesystem root.
+        backend: A registered backend name (``"directory"`` |
+            ``"sharded"`` | ``"memory"``), an already-built
+            :class:`~repro.runner.backends.CacheBackend` instance, or
+            ``None`` for the process default
+            (``$REPRO_CACHE_BACKEND``, else ``directory``).
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        backend: str | CacheBackend | None = None,
+    ) -> None:
+        if backend is None or isinstance(backend, str):
+            backend = create_cache_backend(backend, root=root)
+        self.backend = backend
         self.hits = 0
         self.misses = 0
 
+    @property
+    def root(self) -> Path | None:
+        """The backend's filesystem root (``None`` for in-memory)."""
+        return getattr(self.backend, "root", None)
+
     def path_for(self, spec: TaskSpec) -> Path:
-        """Artifact file for ``spec``: ``<root>/<kind>/<sha256>.json``."""
-        return self.root / spec.kind / f"{spec.cache_key}.json"
+        """Artifact file for ``spec`` (on-disk backends only)."""
+        path_for = getattr(self.backend, "path_for", None)
+        if path_for is None:
+            raise TypeError(
+                f"{self.backend.describe()} backend has no artifact paths"
+            )
+        return path_for(spec.kind, spec.cache_key)
 
     def contains(self, spec: TaskSpec) -> bool:
-        """Whether an artifact file exists for ``spec`` (no validation,
+        """Whether an artifact exists for ``spec`` (no validation,
         no hit/miss accounting) — a cheap pre-flight probe."""
-        return self.path_for(spec).is_file()
+        return self.backend.contains(spec.kind, spec.cache_key)
 
     def load(self, spec: TaskSpec) -> dict | None:
         """The stored entry for ``spec``, or ``None`` on a miss.
 
         The returned dict has at least ``artifact`` and
-        ``elapsed_seconds``.  Corrupt or schema-mismatched files count
-        as misses.
+        ``elapsed_seconds``.  Corrupt or schema-mismatched entries
+        count as misses.
         """
-        path = self.path_for(spec)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
+        entry = self.backend.load(spec.kind, spec.cache_key)
         if (
             not isinstance(entry, dict)
             or entry.get("version") != CACHE_FORMAT_VERSION
@@ -85,10 +114,12 @@ class ResultCache:
 
     def store(
         self, spec: TaskSpec, artifact: dict, elapsed_seconds: float
-    ) -> Path:
-        """Atomically persist ``artifact`` for ``spec``; returns the path."""
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    ) -> Path | None:
+        """Atomically persist ``artifact`` for ``spec``.
+
+        Returns the artifact path for on-disk backends, ``None``
+        otherwise.
+        """
         entry = {
             "version": CACHE_FORMAT_VERSION,
             "kind": spec.kind,
@@ -98,54 +129,33 @@ class ResultCache:
             "created_unix": time.time(),
             "artifact": artifact,
         }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, indent=1, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        self.backend.store(spec.kind, spec.cache_key, entry)
+        if hasattr(self.backend, "path_for"):
+            return self.path_for(spec)
+        return None
 
     def clear(self, kind: str | None = None) -> int:
         """Delete artifacts (all, or one ``kind``); returns the count.
 
-        Also reaps orphaned ``.tmp-*`` files left by a killed writer;
-        those do not contribute to the returned count.
+        On-disk backends also reap orphaned ``.tmp-*`` files left by a
+        killed writer; those do not contribute to the returned count.
         """
-        roots = [self.root / kind] if kind else [self.root]
-        removed = 0
-        for root in roots:
-            if not root.is_dir():
-                continue
-            for path in sorted(root.rglob("*.json")):
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-                if not path.name.startswith("."):
-                    removed += 1
-        return removed
+        return self.backend.clear(kind)
 
     def entry_count(self, kind: str | None = None) -> int:
         """Number of stored artifacts (optionally for one task kind)."""
-        root = self.root / kind if kind else self.root
-        if not root.is_dir():
-            return 0
-        return sum(
-            1
-            for path in root.rglob("*.json")
-            if not path.name.startswith(".")
-        )
+        return self.backend.entry_count(kind)
+
+    def kinds(self) -> list[str]:
+        """Sorted task kinds with at least one stored artifact."""
+        return self.backend.kinds()
+
+    def describe(self) -> str:
+        """One-line backend description (the ``cache info`` header)."""
+        return self.backend.describe()
 
     def __repr__(self) -> str:
         return (
-            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"ResultCache({self.describe()}, hits={self.hits}, "
             f"misses={self.misses})"
         )

@@ -30,7 +30,13 @@ Typical use::
     response = job.result()           # a Response envelope
 
 The daemon (:mod:`repro.service.daemon`) speaks exactly these
-envelopes as JSON lines over stdio or TCP.
+envelopes as JSON lines over stdio or TCP; the HTTP gateway
+(:mod:`repro.service.http`, ``repro serve --http``) streams the same
+lines as chunked responses, with explicit ``queue_full`` backpressure
+when admission control (``Service(max_pending=...)``) refuses a burst.
+:mod:`repro.service.loadgen` replays request mixes from many
+concurrent clients against a live gateway and reports the
+latency/throughput trajectory (``BENCH_service.json``).
 """
 
 from repro.service.envelopes import (
@@ -51,7 +57,7 @@ from repro.service.envelopes import (
     to_json,
 )
 from repro.service.events import EVENT_TYPES, Event, EventError
-from repro.service.jobs import Job, Service
+from repro.service.jobs import Job, QueueFullError, Service
 from repro.service.render import render_event, render_response
 
 __all__ = [
@@ -68,6 +74,7 @@ __all__ = [
     "ExperimentRequest",
     "Job",
     "MatrixRequest",
+    "QueueFullError",
     "Request",
     "Response",
     "Service",

@@ -47,7 +47,21 @@ from repro.service.envelopes import (
     from_dict,
     to_dict,
 )
-from repro.service.jobs import Job, Service
+from repro.service.jobs import Job, QueueFullError, Service
+
+#: Longest accepted request line (characters).  A client streaming an
+#: absurd line gets an error response instead of exhausting daemon
+#: memory one envelope at a time.
+MAX_LINE_CHARS = 4_000_000
+
+
+def encode_line(payload: dict) -> str:
+    """The one wire encoding of an envelope/event: sorted-key JSON + LF.
+
+    Shared by every transport (stdio, TCP, the HTTP gateway), which is
+    what makes their streamed lines byte-identical for the same job.
+    """
+    return json.dumps(payload, sort_keys=True) + "\n"
 
 
 class _LineWriter:
@@ -58,7 +72,7 @@ class _LineWriter:
         self._lock = threading.Lock()
 
     def write(self, payload: dict) -> None:
-        line = json.dumps(payload, sort_keys=True) + "\n"
+        line = encode_line(payload)
         with self._lock:
             try:
                 self._stream.write(line)
@@ -76,14 +90,37 @@ def _pump(job: Job, writer: _LineWriter) -> None:
     writer.write(to_dict(job.result()))
 
 
-def _error_response(job_id: str, message: str, request_kind: str = "") -> dict:
+def _error_response(
+    job_id: str,
+    message: str,
+    request_kind: str = "",
+    result: dict | None = None,
+) -> dict:
     return to_dict(
         Response(
             request_kind=request_kind,
             status="error",
             job_id=job_id,
             error=message,
+            result=result,
         )
+    )
+
+
+def queue_full_response(
+    job_id: str, full: QueueFullError, request_kind: str = ""
+) -> dict:
+    """The explicit backpressure envelope for a refused submission.
+
+    ``error`` starts with ``queue_full`` (machine-matchable) and
+    ``result.retry_after_seconds`` carries the service's backoff hint —
+    the JSON-lines twin of the HTTP gateway's 503 + ``Retry-After``.
+    """
+    return _error_response(
+        job_id,
+        f"queue_full: {full}",
+        request_kind=request_kind,
+        result={"retry_after_seconds": full.retry_after_seconds},
     )
 
 
@@ -101,6 +138,15 @@ def handle_stream(service: Service, rfile, wfile) -> bool:
     for line in rfile:
         line = line.strip()
         if not line:
+            continue
+        if len(line) > MAX_LINE_CHARS:
+            writer.write(
+                _error_response(
+                    "",
+                    f"oversized request line ({len(line)} chars > "
+                    f"{MAX_LINE_CHARS})",
+                )
+            )
             continue
         try:
             obj = json.loads(line)
@@ -130,6 +176,15 @@ def handle_stream(service: Service, rfile, wfile) -> bool:
                     f"envelope kind {kind!r} is not submittable"
                 )
             job = service.submit(request, job_id=job_id)
+        except QueueFullError as full:
+            writer.write(
+                queue_full_response(
+                    job_id or "",
+                    full,
+                    request_kind=kind if kind in REQUEST_KINDS else "",
+                )
+            )
+            continue
         except ValueError as error:  # EnvelopeError + registry misses
             writer.write(
                 _error_response(
@@ -182,14 +237,30 @@ class _Utf8Writer:
 
 
 class TCPDaemon(socketserver.ThreadingTCPServer):
-    """The TCP flavour: one thread per connection, one shared service."""
+    """The TCP flavour: one thread per connection, one shared service.
+
+    ``ready`` is set on the first ``serve_forever`` poll — tests and
+    harnesses that run the server on a thread wait on it instead of
+    sleeping (the socket is bound and listening from construction, so
+    connects queue in the backlog either way; the event removes the
+    timing guesswork entirely).
+    """
 
     allow_reuse_address = True
     daemon_threads = True
+    #: Listen backlog (socketserver defaults to 5, which resets
+    #: connections under a synchronized client burst — see the HTTP
+    #: gateway's note; same reasoning here).
+    request_queue_size = 256
 
     def __init__(self, address: tuple[str, int], service: Service) -> None:
         super().__init__(address, _TCPHandler)
         self.service = service
+        self.ready = threading.Event()
+
+    def service_actions(self) -> None:  # first poll => serving
+        self.ready.set()
+        super().service_actions()
 
 
 def create_tcp_server(

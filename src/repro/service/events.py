@@ -7,9 +7,11 @@ can detect gaps.  The taxonomy is deliberately small and stable:
 
 ====================  ==================================================
 ``job_started``       First event of every job.  ``data`` carries the
-                      request ``kind`` and, when known up front, the
-                      ``total`` number of work units (matrix cells,
-                      experiment rows).
+                      request ``kind``, ``queued_seconds`` (submit ->
+                      execution start: time spent in the admission
+                      queue) and, when known up front, the ``total``
+                      number of work units (matrix cells, experiment
+                      rows).
 ``cell_started``      A unit of work began executing (cache hits never
                       start — they complete directly).  ``data``:
                       ``label``, submission ``index``.
@@ -22,7 +24,8 @@ can detect gaps.  The taxonomy is deliberately small and stable:
 ``warning``           A non-fatal condition (``data["message"]``).
 ``job_done``          Last event of every job.  ``data``: final
                       ``status`` (``ok`` | ``partial`` | ``error`` |
-                      ``cancelled``).
+                      ``cancelled``) plus the latency breakdown —
+                      ``queued_seconds`` and ``run_seconds``.
 ====================  ==================================================
 
 Renderers live in :mod:`repro.service.render`; nothing here prints.

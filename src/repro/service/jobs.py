@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 import traceback
 from dataclasses import asdict
 
@@ -45,6 +46,28 @@ from repro.service.events import Event
 _STREAM_END = object()
 
 
+class QueueFullError(RuntimeError):
+    """Admission control refused a submission: the job table is full.
+
+    Raised by :meth:`Service.submit` when ``max_pending`` unfinished
+    jobs are already admitted.  Transports turn this into an explicit
+    backpressure response (a ``queue_full`` error envelope over
+    JSON lines, HTTP 503 + ``Retry-After`` over the gateway) instead
+    of letting an unbounded queue absorb — and then time out — every
+    burst.  :attr:`retry_after_seconds` is the service's load-based
+    hint for when to try again.
+    """
+
+    def __init__(self, active: int, limit: int, retry_after_seconds: float):
+        super().__init__(
+            f"job queue is full ({active} active >= max_pending {limit}); "
+            f"retry in {retry_after_seconds:g}s"
+        )
+        self.active = active
+        self.limit = limit
+        self.retry_after_seconds = retry_after_seconds
+
+
 class Job:
     """One submitted request: an event stream plus a pending response.
 
@@ -58,6 +81,9 @@ class Job:
         self.id = job_id
         self.request = request
         self.status = "pending"
+        self.submitted_unix = time.time()
+        self.started_unix: float | None = None
+        self.finished_unix: float | None = None
         self._events: queue.SimpleQueue = queue.SimpleQueue()
         self._log: list[Event] = []
         self._seq = 0
@@ -118,10 +144,37 @@ class Job:
     # ------------------------------------------------------------------
 
     def emit(self, type: str, data: dict | None = None) -> Event:
-        """Append one event to the stream (and the retained log)."""
+        """Append one event to the stream (and the retained log).
+
+        The job's admission/latency timestamps ride along on the
+        lifecycle events: ``job_started`` gains ``queued_seconds``
+        (submit -> execution start, i.e. time spent waiting in the
+        admission queue) and ``job_done`` gains ``queued_seconds`` +
+        ``run_seconds``, so every transport streams the same latency
+        breakdown without computing it.
+        """
+        data = dict(data or {})
+        if type == "job_started":
+            if self.started_unix is None:
+                self.started_unix = time.time()
+            data.setdefault(
+                "queued_seconds",
+                round(self.started_unix - self.submitted_unix, 6),
+            )
+        elif type == "job_done":
+            now = time.time()
+            started = (
+                self.started_unix
+                if self.started_unix is not None
+                else self.submitted_unix
+            )
+            data.setdefault(
+                "queued_seconds", round(started - self.submitted_unix, 6)
+            )
+            data.setdefault("run_seconds", round(now - started, 6))
         with self._lock:
             event = Event(
-                type=type, job_id=self.id, seq=self._seq, data=data or {}
+                type=type, job_id=self.id, seq=self._seq, data=data
             )
             self._seq += 1
             self._log.append(event)
@@ -135,6 +188,7 @@ class Job:
     def _finish(self, response: Response) -> None:
         with self._lock:
             self.status = response.status
+        self.finished_unix = time.time()
         self._response = response
         self._finished.set()
         self._events.put(_STREAM_END)
@@ -201,6 +255,12 @@ class Service:
             late ``job(id)`` lookups; older finished jobs are pruned
             on submit so a long-lived daemon's memory stays bounded
             (running jobs are never pruned).
+        max_pending: Admission control — the most unfinished jobs the
+            service will hold at once.  A submission past the bound
+            raises :class:`QueueFullError` (with a load-based
+            ``retry_after_seconds`` hint) instead of queueing without
+            bound; ``None`` disables the check (the library-embedded
+            default — daemons should set it).
     """
 
     def __init__(
@@ -209,11 +269,13 @@ class Service:
         cache: ResultCache | None = None,
         inner_parallel: bool = False,
         retain_finished: int = 64,
+        max_pending: int | None = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
         self.inner_parallel = inner_parallel
         self.retain_finished = max(0, retain_finished)
+        self.max_pending = max(1, max_pending) if max_pending else None
         self._slots = threading.BoundedSemaphore(self.jobs)
         self._jobs: dict[str, Job] = {}
         self._counter = itertools.count(1)
@@ -227,7 +289,9 @@ class Service:
         """Validate ``request``, start it on a worker thread, return its Job.
 
         ``job_id`` defaults to a service-unique ``job-N``; daemon
-        clients may pick their own ids to correlate streams.
+        clients may pick their own ids to correlate streams.  Raises
+        :class:`QueueFullError` when admission control
+        (``max_pending``) refuses the submission.
         """
         executor = _EXECUTORS.get(type(request))
         if executor is None:
@@ -235,6 +299,16 @@ class Service:
                 f"not a request envelope: {type(request).__name__}"
             )
         with self._lock:
+            if self.max_pending is not None:
+                active = sum(
+                    1 for job in self._jobs.values() if not job.done()
+                )
+                if active >= self.max_pending:
+                    raise QueueFullError(
+                        active,
+                        self.max_pending,
+                        self._retry_after_hint(active),
+                    )
             if job_id is None:
                 # Skip auto ids a client already claimed for itself.
                 job_id = f"job-{next(self._counter)}"
@@ -261,6 +335,25 @@ class Service:
     def job(self, job_id: str) -> Job:
         """Look up a submitted job by id (KeyError on a miss)."""
         return self._jobs[job_id]
+
+    def active_count(self) -> int:
+        """How many admitted jobs have not finished yet."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if not job.done())
+
+    def job_count(self) -> int:
+        """Total jobs in the table (active + retained finished)."""
+        with self._lock:
+            return len(self._jobs)
+
+    def _retry_after_hint(self, active: int) -> float:
+        """A load-based backoff hint: roughly one worker-slot drain.
+
+        With ``active`` jobs contending for ``jobs`` execution slots,
+        one queue position drains every ``active / jobs`` task-times;
+        clamped to [1, 30] seconds so clients neither hammer nor stall.
+        """
+        return round(min(30.0, max(1.0, active / self.jobs)), 1)
 
     def _prune_finished(self) -> None:
         """Drop the oldest finished jobs beyond ``retain_finished``.
@@ -298,6 +391,7 @@ class Service:
 
     def _run_job(self, job: Job, executor) -> None:
         job.status = "running"
+        job.started_unix = time.time()
         try:
             payload, status = executor(self, job)
         except Exception as error:  # noqa: BLE001 — jobs must not kill the daemon

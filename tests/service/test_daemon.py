@@ -1,66 +1,29 @@
-"""Daemon smoke tests: JSON-lines protocol over TCP and stdio."""
+"""Daemon smoke tests: JSON-lines protocol over TCP and stdio.
+
+The ``tcp_daemon`` fixture (``conftest.py``) is readiness-signalled —
+it waits on the server's ``ready`` event instead of sleeping — so
+these tests never race the serve loop's startup.
+"""
 
 from __future__ import annotations
 
 import json
 import os
-import socket
 import subprocess
 import sys
 import threading
 from pathlib import Path
 
-import pytest
+from repro.service import SCHEMA_VERSION
 
-from repro.runner import ResultCache
-from repro.service import SCHEMA_VERSION, Service
-from repro.service.daemon import create_tcp_server
+from tests.service.conftest import matrix_request, talk
 
 SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
 
-def _matrix_request(job_id: str, seeds=(0,)) -> dict:
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "kind": "matrix",
-        "id": job_id,
-        "schemes": [["sarlock", {"key_size": 3}]],
-        "circuits": ["c432"],
-        "scale": 0.12,
-        "efforts": [1],
-        "seeds": list(seeds),
-    }
-
-
-@pytest.fixture
-def tcp_daemon(tmp_path):
-    """An in-process TCP daemon on an ephemeral port, shared cache."""
-    service = Service(cache=ResultCache(tmp_path / "daemon-cache"))
-    server = create_tcp_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
-        yield server
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=10)
-
-
-def _talk(address, lines: list[dict], timeout: float = 120.0) -> list[dict]:
-    """Send JSON lines, close the write side, read every reply line."""
-    with socket.create_connection(address[:2], timeout=timeout) as conn:
-        with conn.makefile("rw", encoding="utf-8") as stream:
-            for line in lines:
-                stream.write(json.dumps(line) + "\n")
-            stream.flush()
-            conn.shutdown(socket.SHUT_WR)
-            return [json.loads(reply) for reply in stream]
-
-
 class TestTcpDaemon:
     def test_single_job_streams_events_then_response(self, tcp_daemon):
-        replies = _talk(tcp_daemon.server_address, [_matrix_request("j1")])
+        replies = talk(tcp_daemon.server_address, [matrix_request("j1")])
         kinds = [r["kind"] for r in replies]
         assert kinds[-1] == "response"
         events = [r for r in replies if r["kind"] == "event"]
@@ -72,23 +35,33 @@ class TestTcpDaemon:
         assert response["job_id"] == "j1"
         assert response["schema_version"] == SCHEMA_VERSION
 
+    def test_lifecycle_events_carry_latency_breakdown(self, tcp_daemon):
+        replies = talk(tcp_daemon.server_address, [matrix_request("lat")])
+        events = {
+            e["type"]: e for e in replies if e["kind"] == "event"
+        }
+        assert events["job_started"]["data"]["queued_seconds"] >= 0
+        done = events["job_done"]["data"]
+        assert done["queued_seconds"] >= 0
+        assert done["run_seconds"] >= 0
+
     def test_two_concurrent_jobs_share_one_cache(self, tcp_daemon):
         # Warm the shared cache through one client, then two clients
         # submit the same grid concurrently: both must stream one
         # cell_done per cell — every one served from the shared cache
         # — and agree byte-for-byte on the payload (timings included,
         # because a warm replay returns the stored artifact).
-        warm = _talk(
-            tcp_daemon.server_address, [_matrix_request("warmup", seeds=(0, 1))]
+        warm = talk(
+            tcp_daemon.server_address, [matrix_request("warmup", seeds=(0, 1))]
         )
         assert warm[-1]["status"] == "ok"
 
         results: dict[str, list[dict]] = {}
 
         def client(job_id: str) -> None:
-            results[job_id] = _talk(
+            results[job_id] = talk(
                 tcp_daemon.server_address,
-                [_matrix_request(job_id, seeds=(0, 1))],
+                [matrix_request(job_id, seeds=(0, 1))],
             )
 
         threads = [
@@ -117,7 +90,7 @@ class TestTcpDaemon:
         from repro.scenarios.matrix import MatrixResult
         from repro.service import from_dict
 
-        replies = _talk(tcp_daemon.server_address, [_matrix_request("rt")])
+        replies = talk(tcp_daemon.server_address, [matrix_request("rt")])
         response = from_dict(replies[-1])
         result = MatrixResult.from_payload(response.result)
         assert len(result.cells) == 1
@@ -125,7 +98,7 @@ class TestTcpDaemon:
         assert result.format().startswith("Scenario matrix: 1 cells")
 
     def test_cancel_unknown_job_and_malformed_lines(self, tcp_daemon):
-        replies = _talk(
+        replies = talk(
             tcp_daemon.server_address,
             [
                 {"kind": "cancel", "id": "ghost"},
@@ -139,9 +112,9 @@ class TestTcpDaemon:
         assert "unknown envelope kind" in replies[1]["error"]
 
     def test_invalid_request_reports_roster_error(self, tcp_daemon):
-        bad = _matrix_request("bad")
+        bad = matrix_request("bad")
         bad["schemes"] = [["nope", {}]]
-        replies = _talk(tcp_daemon.server_address, [bad])
+        replies = talk(tcp_daemon.server_address, [bad])
         [response] = replies
         assert response["status"] == "error"
         assert "unknown locking scheme" in response["error"]
@@ -157,7 +130,7 @@ class TestStdioDaemon:
         )
         env["REPRO_CACHE_DIR"] = str(tmp_path / "stdio-cache")
         lines = (
-            json.dumps(_matrix_request("stdio-1"))
+            json.dumps(matrix_request("stdio-1"))
             + "\n"
             + json.dumps({"kind": "shutdown"})
             + "\n"

@@ -1,0 +1,194 @@
+"""Fault injection against the daemons: hostile clients, live shutdown.
+
+Every scenario here is something a real deployment sees weekly —
+clients that vanish mid-stream, garbage on the wire, readers that
+stall, operators stopping a busy daemon — and the invariant under test
+is always the same: **no deadlock, no lost or leaked jobs**, and the
+daemon keeps serving everyone else.  Job-table health is asserted
+through the service's own accounting (``active_count``/``job_count``),
+not timing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+
+from repro.service import Service
+from repro.service.daemon import handle_stream
+
+from tests.service.conftest import bench_request, matrix_request, talk
+
+
+def _readline(stream_file) -> str:
+    line = stream_file.readline()
+    assert line, "daemon closed the stream unexpectedly"
+    return line
+
+
+class TestTcpFaults:
+    def test_client_disconnect_mid_stream_job_still_completes(
+        self, tcp_daemon, service, gated_bench
+    ):
+        """A vanished client must not kill or leak its job."""
+        conn = socket.create_connection(
+            tcp_daemon.server_address[:2], timeout=30
+        )
+        stream = conn.makefile("rw", encoding="utf-8")
+        stream.write(json.dumps(bench_request("drop-1")) + "\n")
+        stream.flush()
+        assert gated_bench.started.wait(30), "job never started"
+        # First event line arrives, then the client dies mid-stream.
+        first = json.loads(_readline(stream))
+        assert first["type"] == "job_started"
+        conn.close()
+
+        gated_bench.release.set()
+        response = service.job("drop-1").result(timeout=60)
+        assert response.status == "ok"
+        assert service.active_count() == 0
+
+        # The daemon shrugged it off: a fresh client gets full service.
+        replies = talk(tcp_daemon.server_address, [matrix_request("after")])
+        assert replies[-1]["status"] == "ok"
+
+    def test_oversized_line_is_refused_daemon_keeps_serving(
+        self, tcp_daemon, monkeypatch
+    ):
+        monkeypatch.setattr("repro.service.daemon.MAX_LINE_CHARS", 1000)
+        replies = talk(
+            tcp_daemon.server_address,
+            ["x" * 2000, matrix_request("after-big")],
+        )
+        assert replies[0]["status"] == "error"
+        assert "oversized request line" in replies[0]["error"]
+        assert replies[-1]["status"] == "ok"
+        assert replies[-1]["job_id"] == "after-big"
+
+    def test_garbage_lines_then_valid_job_on_one_connection(self, tcp_daemon):
+        replies = talk(
+            tcp_daemon.server_address,
+            ["not json at all", [1, 2, 3], matrix_request("after-junk")],
+        )
+        assert "not valid JSON" in replies[0]["error"]
+        assert "JSON object" in replies[1]["error"]
+        assert replies[-1]["status"] == "ok"
+
+    def test_slow_reader_does_not_block_other_clients(self, tcp_daemon):
+        """One stalled consumer must not starve the accept loop."""
+        slow = socket.create_connection(
+            tcp_daemon.server_address[:2], timeout=120
+        )
+        slow_stream = slow.makefile("rw", encoding="utf-8")
+        slow_stream.write(json.dumps(matrix_request("slow")) + "\n")
+        slow_stream.flush()
+        # ... and then reads nothing while another client does a full job.
+        replies = talk(tcp_daemon.server_address, [matrix_request("fast")])
+        assert replies[-1]["status"] == "ok"
+        # The slow reader eventually drains its complete stream too.
+        slow.shutdown(socket.SHUT_WR)
+        slow_replies = [json.loads(line) for line in slow_stream]
+        slow.close()
+        assert slow_replies[-1]["kind"] == "response"
+        assert slow_replies[-1]["status"] == "ok"
+        assert slow_replies[-1]["job_id"] == "slow"
+
+
+class TestShutdownInFlight:
+    def test_shutdown_drains_running_jobs_before_returning(self, gated_bench):
+        """``shutdown`` with a job in flight still delivers its response."""
+        service = Service(jobs=1)
+        lines = (
+            json.dumps(bench_request("inflight"))
+            + "\n"
+            + json.dumps({"kind": "shutdown"})
+            + "\n"
+        )
+        out = io.StringIO()
+        result: dict = {}
+
+        def serve() -> None:
+            result["shutdown"] = handle_stream(
+                service, io.StringIO(lines), out
+            )
+
+        server_thread = threading.Thread(target=serve)
+        server_thread.start()
+        assert gated_bench.started.wait(30), "job never started"
+        # The daemon has read the shutdown line but must now be parked
+        # draining the pump; releasing the job lets it finish.
+        gated_bench.release.set()
+        server_thread.join(timeout=60)
+        assert not server_thread.is_alive(), "handle_stream deadlocked"
+
+        assert result["shutdown"] is True
+        replies = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert replies[-1]["kind"] == "response"
+        assert replies[-1]["job_id"] == "inflight"
+        assert replies[-1]["status"] == "ok"
+        assert service.active_count() == 0
+
+
+class TestJobTableHygiene:
+    def test_finished_jobs_are_pruned_to_the_retention_bound(self):
+        service = Service(jobs=1, retain_finished=2)
+        from repro.service.envelopes import BenchRequest
+
+        for index in range(6):
+            response = service.run(
+                BenchRequest(circuit="c432", scale=0.3), job_id=f"prune-{index}"
+            )
+            assert response.status == "ok"
+        # Each submit prunes finished jobs beyond the bound before
+        # inserting, so the table never grows past retained + 1.
+        assert service.job_count() <= 3
+        assert service.active_count() == 0
+        # The oldest handles are gone; the newest survives lookups.
+        service.job("prune-5")
+        try:
+            service.job("prune-0")
+            raise AssertionError("prune-0 should have been pruned")
+        except KeyError:
+            pass
+
+
+class TestHttpFaults:
+    def test_http_client_disconnect_mid_stream(
+        self, http_daemon, service, gated_bench
+    ):
+        """Same contract as TCP: the job survives its client."""
+        host, port = http_daemon.server_address[:2]
+        body = json.dumps(bench_request("http-drop"))
+        with socket.create_connection((host, port), timeout=30) as conn:
+            conn.sendall(
+                (
+                    "POST /v1/jobs HTTP/1.1\r\n"
+                    f"Host: {host}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "\r\n"
+                    f"{body}"
+                ).encode("utf-8")
+            )
+            assert gated_bench.started.wait(30), "job never started"
+            # Read just the status line, then slam the connection shut.
+            assert conn.recv(16).startswith(b"HTTP/1.1 200")
+
+        gated_bench.release.set()
+        response = service.job("http-drop").result(timeout=60)
+        assert response.status == "ok"
+        assert service.active_count() == 0
+
+        # The gateway is still healthy for everyone else.
+        import http.client
+
+        check = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            check.request("GET", "/v1/health")
+            health = json.loads(check.getresponse().read())
+        finally:
+            check.close()
+        assert health["status"] == "ok"
+        assert health["active_jobs"] == 0
