@@ -54,6 +54,7 @@ from collections.abc import Mapping, Sequence
 from repro.circuit.cnf import encode_gate
 from repro.circuit.compiled import CompiledCircuit
 from repro.circuit.gates import GateType
+from repro.circuit.opt import resolve_opt
 from repro.circuit.simulator import random_stimuli_words
 from repro.locking.base import LockedCircuit, key_to_int
 from repro.oracle.oracle import Oracle
@@ -88,6 +89,11 @@ class SatAttackResult:
             :meth:`repro.sat.solver.SolverStats.as_dict`).
         key_order: Key port names, fixing the bit order of
             :attr:`key_bits` / :attr:`key_int`.
+        encode_stats: Structural facts about the miter encoding this
+            attack ran on (opt level, gate counts pre/post
+            optimization, solver variable/clause counts) — see
+            :func:`build_miter_encoding`.  Empty when the caller drove
+            :func:`run_dip_loop` directly.
     """
 
     key: dict[str, bool] | None
@@ -99,6 +105,7 @@ class SatAttackResult:
     iterations: list[AttackIteration] = field(default_factory=list)
     solver_stats: dict[str, int] = field(default_factory=dict)
     key_order: list[str] = field(default_factory=list)
+    encode_stats: dict = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
@@ -144,6 +151,15 @@ class MiterEncoding:
         solver_name: Registry name of the backend holding the encoding
             (``"custom"`` when the caller passed an instance of an
             unregistered type).
+        opt: Resolved optimization level the circuit was encoded at
+            (see :mod:`repro.circuit.opt`); ``compiled`` is the
+            *optimized* circuit when this is not ``"off"``.
+        gates_before / gates_after: Structural gate count of the locked
+            circuit before and after optimization (equal when
+            ``opt="off"``).
+        base_clauses: Clause count right after base encoding; together
+            with :attr:`base_vars` this is the encoded size every
+            backend sees (compare across opt levels for the reduction).
     """
 
     solver: Solver
@@ -158,10 +174,26 @@ class MiterEncoding:
     true_var: int
     base_vars: int
     solver_name: str = "python"
+    opt: str = "off"
+    gates_before: int = 0
+    gates_after: int = 0
+    base_clauses: int = 0
+
+    def encode_stats(self) -> dict:
+        """JSON-ready pre/post structural summary of this encoding."""
+        return {
+            "opt": self.opt,
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "vars": self.base_vars,
+            "clauses": self.base_clauses,
+        }
 
 
 def build_miter_encoding(
-    locked: LockedCircuit, solver: Solver | str | None = None
+    locked: LockedCircuit,
+    solver: Solver | str | None = None,
+    opt: str | None = None,
 ) -> MiterEncoding:
     """Encode ``locked``'s key-comparison miter into ``solver`` once.
 
@@ -170,14 +202,25 @@ def build_miter_encoding(
         solver: Backend to encode into — a registered backend *name*
             (see :mod:`repro.sat.registry`), a solver instance, or
             ``None`` for the process default backend.
+        opt: Structural-optimization level (:mod:`repro.circuit.opt`);
+            ``None`` follows the process default.  The locked circuit —
+            key cone included — is optimized *once*, before the cone
+            split, so the shared half, both duplicated halves and every
+            per-DIP constraint copy are built from the smaller circuit
+            and every backend sees fewer variables and clauses.
 
     Returns a :class:`MiterEncoding` whose variable numbering is a
-    deterministic function of the compiled circuit — two processes
-    encoding the same circuit agree on every variable id, which is what
-    makes cross-process learned-clause import sound.
+    deterministic function of the (optimized) compiled circuit — two
+    processes encoding the same circuit at the same opt level agree on
+    every variable id, which is what makes cross-process learned-clause
+    import sound.
     """
     netlist = locked.netlist
     compiled = netlist.compile()
+    gates_before = compiled.num_gates
+    level = resolve_opt(opt)
+    if level != "off":
+        compiled = compiled.optimized(level).compiled
     slot_of = compiled.slot_of
     num_slots = compiled.num_slots
     key_set = set(locked.key_inputs)
@@ -270,6 +313,10 @@ def build_miter_encoding(
         true_var=true_var,
         base_vars=solver.num_vars,
         solver_name=solver_name,
+        opt=level,
+        gates_before=gates_before,
+        gates_after=compiled.num_gates,
+        base_clauses=solver.num_clauses,
     )
 
 
@@ -515,6 +562,7 @@ def sat_attack(
     record_iterations: bool = True,
     extract_on_budget: bool = False,
     solver: Solver | str | None = None,
+    opt: str | None = None,
 ) -> SatAttackResult:
     """Run the SAT attack on ``locked`` against ``oracle``.
 
@@ -532,6 +580,9 @@ def sat_attack(
             still extract a key consistent with the DIPs seen so far
             (an *approximate* key — AppSAT builds on this).
         solver: Backend name/instance (see :func:`build_miter_encoding`).
+        opt: Structural-optimization level for the miter encoding
+            (see :func:`build_miter_encoding`; ``None`` = process
+            default).
 
     Returns the recovered key — correct on every input consistent with
     ``pin`` — plus run statistics.
@@ -543,7 +594,7 @@ def sat_attack(
         if net not in locked.netlist.inputs or net in key_set:
             raise ValueError(f"pinned net {net!r} is not a primary input")
 
-    enc = build_miter_encoding(locked, solver=solver)
+    enc = build_miter_encoding(locked, solver=solver, opt=opt)
     for net, value in pin.items():
         var = enc.input_vars[net]
         enc.solver.add_clause([var if value else -var])
@@ -553,7 +604,7 @@ def sat_attack(
         # clauses on every conflict otherwise.
         enc.solver.simplify()
 
-    return run_dip_loop(
+    result = run_dip_loop(
         enc,
         oracle,
         pin=pin,
@@ -563,6 +614,8 @@ def sat_attack(
         extract_on_budget=extract_on_budget,
         start=start,
     )
+    result.encode_stats = enc.encode_stats()
+    return result
 
 
 def verify_key_against_oracle(

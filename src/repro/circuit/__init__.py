@@ -26,6 +26,15 @@ from repro.circuit.compiled import CompiledCircuit, CompileError
 from repro.circuit.equivalence import EquivalenceResult, check_equivalence, build_miter
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Gate, Netlist, NetlistError
+from repro.circuit.opt import (
+    OPT_LEVELS,
+    OptimizedCircuit,
+    default_opt,
+    optimize_compiled,
+    resolve_opt,
+    run_pass,
+    set_default_opt,
+)
 from repro.circuit.simulator import (
     evaluate,
     exhaustive_patterns,
@@ -62,6 +71,13 @@ __all__ = [
     "check_equivalence",
     "build_miter",
     "EquivalenceResult",
+    "OPT_LEVELS",
+    "OptimizedCircuit",
+    "optimize_compiled",
+    "run_pass",
+    "default_opt",
+    "set_default_opt",
+    "resolve_opt",
     "format_verilog",
     "write_verilog_file",
 ]

@@ -17,6 +17,7 @@ from collections.abc import Mapping
 from repro.circuit.compiled import CompiledCircuit
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
+from repro.circuit.opt import resolve_opt
 from repro.sat import (
     CNF,
     enc_and,
@@ -66,6 +67,7 @@ def encode_compiled(
     compiled: CompiledCircuit,
     cnf: CNF | None = None,
     share: Mapping[str, int] | None = None,
+    opt: str | None = "off",
 ) -> CompiledEncoding:
     """Encode every gate of ``compiled`` into ``cnf``, slot-indexed.
 
@@ -74,7 +76,19 @@ def encode_compiled(
     to named nets (typically primary inputs shared with another circuit
     copy, as in a miter).  Auxiliary variables for wide XOR chains are
     allocated after the slot block.
+
+    ``opt`` runs the structural optimizer (:mod:`repro.circuit.opt`)
+    before encoding; the returned ``compiled``/``slot_vars`` then refer
+    to the *optimized* circuit.  The default here is ``"off"`` — unlike
+    the high-level consumers, this encoder's slot identities are part
+    of its contract, so shrinking is explicit opt-in (``None`` follows
+    the process default).  ``share`` keys must survive optimization;
+    primary inputs and outputs always do.
     """
+    if opt != "off":
+        level = resolve_opt(opt)
+        if level != "off":
+            compiled = compiled.optimized(level).compiled
     if cnf is None:
         cnf = CNF()
     slot_vars = [0] * compiled.num_slots
@@ -99,14 +113,17 @@ def encode_netlist(
     netlist: Netlist,
     cnf: CNF | None = None,
     share: Mapping[str, int] | None = None,
+    opt: str | None = "off",
 ) -> NetlistEncoding:
     """Encode every gate of ``netlist`` into ``cnf`` (name-keyed wrapper).
 
     ``share`` pre-assigns variables to named nets; all other nets
     receive fresh variables.  Compiles the netlist (cached) and builds
-    the ``net -> var`` dict from the slot array once.
+    the ``net -> var`` dict from the slot array once.  ``opt`` is
+    forwarded to :func:`encode_compiled` (default ``"off"``; optimized
+    encodings only expose variables for surviving nets).
     """
-    enc = encode_compiled(netlist.compile(), cnf, share)
+    enc = encode_compiled(netlist.compile(), cnf, share, opt=opt)
     var_of = dict(zip(enc.compiled.net_names, enc.slot_vars))
     return NetlistEncoding(cnf=enc.cnf, var_of=var_of)
 

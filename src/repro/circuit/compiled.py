@@ -150,6 +150,8 @@ class CompiledCircuit:
         "_fanout_slots",
         "_driver",
         "_content_hash",
+        "_optimized",
+        "_tainted_cache",
     )
 
     def __init__(self, netlist: "Netlist"):
@@ -197,6 +199,8 @@ class CompiledCircuit:
         self._fanout_slots: tuple[tuple[int, ...], ...] | None = None
         self._driver: tuple[int, ...] | None = None
         self._content_hash: str | None = None
+        self._optimized: dict | None = None
+        self._tainted_cache: dict[tuple[int, ...], tuple[bool, ...]] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -237,16 +241,29 @@ class CompiledCircuit:
 
         One forward sweep over the gate arrays; seed slots themselves
         are marked.  This is the compiled form of key-controlled-gate
-        analysis.
+        analysis.  Results are cached per seed set (normalized to a
+        sorted tuple), so repeated miter builds over the same circuit —
+        every shard-chunk worker calls this with the same key slots —
+        pay for the sweep once; a fresh list is returned each call, so
+        callers may mutate their copy freely.
         """
+        key = tuple(sorted(set(seeds)))
+        cache = self._tainted_cache
+        if cache is None:
+            cache = {}
+            self._tainted_cache = cache
+        hit = cache.get(key)
+        if hit is not None:
+            return list(hit)
         tainted = [False] * self.num_slots
-        for s in seeds:
+        for s in key:
             tainted[s] = True
         for out, fanins in zip(self.gate_output_slots, self.gate_fanin_slots):
             for s in fanins:
                 if tainted[s]:
                     tainted[out] = True
                     break
+        cache[key] = tuple(tainted)
         return tainted
 
     def fanin_cone_slots(self, slot: int) -> set[int]:
@@ -583,6 +600,34 @@ class CompiledCircuit:
         words = exhaustive_words(n)
         values = self.eval_words(words, (1 << (1 << n)) - 1)
         return [values[s] for s in self.output_slots]
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
+    def optimized(self, opt: str | None = None):
+        """The structurally optimized form of this circuit, cached.
+
+        ``opt`` is an opt lever value (``None`` -> process default; see
+        :mod:`repro.circuit.opt`).  Returns an
+        :class:`~repro.circuit.opt.OptimizedCircuit` whose ``compiled``
+        is parity-identical on the primary-output interface and whose
+        provenance maps every original slot.  One result is cached per
+        resolved level, so every consumer of a shared compiled circuit
+        (oracle, encoder, miter) reuses the same optimization work —
+        and, for opt-enabled cache identity, the same content hash.
+        """
+        from repro.circuit.opt import optimize_compiled, resolve_opt
+
+        level = resolve_opt(opt)
+        cache = self._optimized
+        if cache is None:
+            cache = {}
+            self._optimized = cache
+        hit = cache.get(level)
+        if hit is None:
+            hit = optimize_compiled(self, level)
+            cache[level] = hit
+        return hit
 
     # ------------------------------------------------------------------
     # Identity

@@ -46,7 +46,10 @@ circuits (``real_c432``/``real_c499``/``real_c880``, plus any file
 registered via ``repro.bench_circuits.register_corpus_file``) work
 exactly like the stand-ins; ``--lanes`` picks the simulation backend
 for wide sweeps (``auto`` uses numpy when installed and worthwhile —
-the choice never changes results, only wall-clock).
+the choice never changes results, only wall-clock).  ``--opt`` picks
+the structural optimization level applied before simulation and CNF
+encoding (constant sweeping, chain collapse, structural hashing, cone
+pruning — parity-preserving, so recovered keys are identical).
 """
 
 from __future__ import annotations
@@ -91,6 +94,12 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--lanes", choices=("auto", "python", "numpy"), default=None,
         help="simulation lane backend for wide sweeps (default: auto — "
              "numpy when installed and the sweep is large enough)",
+    )
+    group.add_argument(
+        "--opt", choices=("auto", "off", "light", "full"), default=None,
+        help="structural optimization of circuits before simulation and "
+             "CNF encoding (default: auto — recovered keys are identical, "
+             "only size and wall-clock change)",
     )
 
 
@@ -273,6 +282,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             solver=args.solver,
+            opt=args.opt,
             time_limit_per_task=args.time_limit,
             parallel=args.parallel,
         )
@@ -333,6 +343,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             efforts=_parse_int_list(args.efforts),
             seeds=_parse_int_list(args.seeds),
             solver=args.solver,
+            opt=args.opt,
             time_limit_per_task=args.time_limit,
             max_dips_per_task=args.max_dips,
             include_baseline=args.baseline,
@@ -669,6 +680,16 @@ def main(argv: list[str] | None = None) -> int:
 
         set_default_lanes(args.lanes)
         os.environ["REPRO_LANES"] = args.lanes
+    if getattr(args, "opt", None):
+        # Same propagation shape as --lanes: process default plus
+        # REPRO_OPT for spawned workers.  Optimization preserves every
+        # circuit's truth table — the lever moves size and wall-clock.
+        import os
+
+        from repro.circuit.opt import set_default_opt
+
+        set_default_opt(args.opt)
+        os.environ["REPRO_OPT"] = args.opt
     return args.func(args)
 
 

@@ -235,11 +235,12 @@ def _run_subtask(payload: tuple) -> SubTaskResult:
         attack_params,
         seed,
         solver,
+        opt,
     ) = payload
     conditional = generate_conditional_netlist(
         locked, assignment, run_synthesis=run_synthesis, effort=synthesis_effort
     )
-    oracle = Oracle(original)
+    oracle = Oracle(original, opt=opt)
     outcome = run_attack(
         attack,
         conditional.locked,
@@ -249,6 +250,7 @@ def _run_subtask(payload: tuple) -> SubTaskResult:
         max_dips=max_dips,
         seed=seed,
         solver=solver,
+        opt=opt,
         **(attack_params or {}),
     )
     return SubTaskResult(
@@ -287,6 +289,7 @@ def multikey_attack(
     attack: str = "sat",
     attack_params: dict | None = None,
     solver: str | None = None,
+    opt: str | None = None,
     runner=None,
 ) -> MultiKeyResult:
     """Run Algorithm 1 with splitting effort ``N = effort``.
@@ -326,16 +329,23 @@ def multikey_attack(
         solver: Registered solver backend name for the sub-attacks
             (``None`` -> the process default; see
             :mod:`repro.sat.registry`).
+        opt: Structural optimization level for the circuits each
+            sub-attack encodes and simulates (``None`` -> the process
+            default; see :mod:`repro.circuit.opt`).  Resolved here so
+            every sub-task — and the sharded engine's task hashes —
+            see one concrete level.
         runner: Optional :class:`repro.runner.Runner` for the sharded
             engine's fan-out (ignored by the reference engine, whose
             sub-tasks carry live objects the task cache cannot hash).
 
     ``effort=0`` degenerates to the baseline single-key attack.
     """
+    from repro.circuit.opt import resolve_opt
     from repro.sat.registry import resolve_solver_name, solver_info
 
     info = attack_info(attack)
     solver = resolve_solver_name(solver)
+    opt = resolve_opt(opt)
     if (
         engine == "sharded"
         and info.supports_shared_encoding
@@ -357,6 +367,7 @@ def multikey_attack(
             attack=attack,
             attack_params=attack_params,
             solver=solver,
+            opt=opt,
             runner=runner,
         )
     if engine not in ("reference", "sharded"):
@@ -384,6 +395,7 @@ def multikey_attack(
             attack_params,
             seed,
             solver,
+            opt,
         )
         for index, assignment in enumerate(assignments)
     ]

@@ -45,6 +45,7 @@ from repro.attacks.registry import attack_info
 from repro.attacks.sat_attack import build_miter_encoding
 from repro.circuit.bench import format_bench, parse_bench
 from repro.circuit.netlist import Netlist
+from repro.circuit.opt import resolve_opt
 from repro.core.multikey import MultiKeyResult, SubTaskResult
 from repro.core.splitting import select_splitting_inputs, splitting_assignments
 from repro.locking.base import LockedCircuit
@@ -80,6 +81,11 @@ class ShardEngine:
             default).  The backend must declare the ``checkpoint`` and
             ``assumptions`` capabilities — shards are solver frames —
             or construction raises ``ValueError``.
+        opt: Structural optimization level for the shared miter
+            (``None`` -> process default; see :mod:`repro.circuit.opt`).
+            Resolved once here — the optimized circuit fixes the
+            variable numbering every shard and warm-start import
+            relies on.
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class ShardEngine:
         splitting_inputs: Sequence[str],
         prime_learnts: Sequence[Sequence[int]] | None = None,
         solver: str | None = None,
+        opt: str | None = None,
     ):
         from repro.sat.registry import resolve_solver_name, solver_info
 
@@ -110,10 +117,18 @@ class ShardEngine:
         self.locked = locked
         self.oracle = oracle
         self.splitting_inputs = list(splitting_inputs)
+        self.opt = resolve_opt(opt)
         start = time.perf_counter()
-        self.enc = build_miter_encoding(locked, solver=self.solver_name)
+        self.enc = build_miter_encoding(
+            locked, solver=self.solver_name, opt=self.opt
+        )
         if prime_learnts and self._can_exchange_learnts:
             self.enc.solver.import_learnts(prime_learnts)
+        # Imported units (and the encoding's own constants) assign
+        # variables at the root; shed the clauses they satisfy before
+        # the first shard starts paying for them on every propagation.
+        if hasattr(self.enc.solver, "simplify"):
+            self.enc.solver.simplify()
         self.encode_seconds = time.perf_counter() - start
         self._num_gates = locked.netlist.num_gates
 
@@ -176,6 +191,12 @@ class ShardEngine:
         solver = self.enc.solver
         frame = solver.checkpoint()
         guard = solver.new_var()
+        # Root facts accumulated by earlier shards (kept across
+        # rollback) satisfy base clauses for good; shed them now.
+        # Inside the frame this marks clauses deleted in place — the
+        # clause-list length the mark snapshot relies on is untouched.
+        if hasattr(solver, "simplify"):
+            solver.simplify()
         outcome = info.shard_fn(
             self.enc,
             self.oracle,
@@ -225,6 +246,19 @@ class ShardEngine:
         )
 
 
+def _encoding_identity(locked: LockedCircuit, opt: str) -> str:
+    """Content hash of the compiled circuit the miter is encoded from.
+
+    With optimization on, the *optimized* circuit fixes the variable
+    numbering, so its hash — not the raw netlist's — is the identity
+    that warm-start clause imports must match.
+    """
+    compiled = locked.netlist.compile()
+    if opt != "off":
+        compiled = compiled.optimized(opt).compiled
+    return compiled.content_hash()
+
+
 def _locked_to_params(locked: LockedCircuit) -> dict:
     """JSON-serializable reconstruction recipe for a locked circuit."""
     return {
@@ -258,10 +292,13 @@ def _shard_chunk_task(params: dict) -> dict:
     provably matches the exporter's (compiled content hash).
     """
     locked = _locked_from_params(params)
-    oracle = Oracle(parse_bench(params["oracle_bench"], name="oracle"))
+    opt = resolve_opt(params.get("opt", "off"))
+    oracle = Oracle(
+        parse_bench(params["oracle_bench"], name="oracle"), opt=opt
+    )
     prime = params.get("prime_learnts")
     if prime and params.get("encoding_hash"):
-        if locked.netlist.compile().content_hash() != params["encoding_hash"]:
+        if _encoding_identity(locked, opt) != params["encoding_hash"]:
             prime = None  # pragma: no cover - defensive: never import blind
     engine = ShardEngine(
         locked,
@@ -269,6 +306,7 @@ def _shard_chunk_task(params: dict) -> dict:
         params["splitting_inputs"],
         prime_learnts=prime,
         solver=params.get("solver"),
+        opt=opt,
     )
     shards = [
         asdict(
@@ -299,6 +337,7 @@ def shard_chunk_task(
     attack_params: dict | None = None,
     seed: int = 0,
     solver: str | None = None,
+    opt: str | None = None,
 ) -> TaskSpec:
     """The :class:`TaskSpec` for one worker's chunk of shards.
 
@@ -306,9 +345,14 @@ def shard_chunk_task(
     the same attack hashes identically across processes and the
     runner's on-disk cache can replay shard chunks.  The solver backend
     is hashed too — different backends may return different (equally
-    valid) partial keys, so their artifacts must not alias.  Warm-start
-    clauses ride in the unhashed execution context — they change how
-    fast a chunk solves, never what it returns.
+    valid) partial keys, so their artifacts must not alias.  The
+    optimization level is hashed for the same reason: it changes the
+    encoding a shard solves against (and the structural stats a result
+    may carry), so opt-on and opt-off artifacts must not alias either
+    — callers pass the *resolved* level so ``"auto"`` never leaks into
+    the hash.  Warm-start clauses ride in the unhashed execution
+    context — they change how fast a chunk solves, never what it
+    returns.
     """
     return TaskSpec(
         kind="multikey_shard_chunk",
@@ -323,6 +367,7 @@ def shard_chunk_task(
             "attack_params": attack_params,
             "seed": seed,
             "solver": solver,
+            "opt": resolve_opt(opt),
         },
         context={
             "prime_learnts": prime_learnts,
@@ -352,6 +397,7 @@ def sharded_multikey_attack(
     attack: str = "sat",
     attack_params: dict | None = None,
     solver: str | None = None,
+    opt: str | None = None,
 ) -> MultiKeyResult:
     """Run Algorithm 1 through the shared-encoding sharded engine.
 
@@ -390,6 +436,12 @@ def sharded_multikey_attack(
         solver: Registered solver backend name (``None`` -> process
             default); must support sharding (checkpoint frames +
             assumptions) or the :class:`ShardEngine` raises.
+        opt: Structural optimization level for the shared miter and
+            the oracle's compiled circuit (``None`` -> process
+            default; see :mod:`repro.circuit.opt`).  Resolved once
+            here and hashed into the shard-chunk tasks; with opt on,
+            the warm-start encoding identity is the *optimized*
+            circuit's content hash.
 
     ``effort=0`` degenerates to the baseline single-key SAT attack on
     a single shard.
@@ -411,6 +463,7 @@ def sharded_multikey_attack(
     start = time.perf_counter()
     attack_info(attack)  # fail fast on unknown names
     solver = resolve_solver_name(solver)  # pinned: the backend is hashed
+    opt = resolve_opt(opt)  # pinned: the level is hashed too
     if splitting_inputs is None:
         splitting_inputs = select_splitting_inputs(
             locked, effort, strategy=selection, seed=seed
@@ -421,8 +474,10 @@ def sharded_multikey_attack(
     num_shards = len(assignments)
 
     fan_out = (parallel or runner is not None) and num_shards > 1
-    oracle = Oracle(oracle_netlist)
-    engine = ShardEngine(locked, oracle, splitting_inputs, solver=solver)
+    oracle = Oracle(oracle_netlist, opt=opt)
+    engine = ShardEngine(
+        locked, oracle, splitting_inputs, solver=solver, opt=opt
+    )
     encode_seconds = engine.encode_seconds
 
     if not fan_out:
@@ -449,7 +504,7 @@ def sharded_multikey_attack(
             seed=seed,
         )
         prime = engine.export_warm_clauses() if warm_start else None
-        encoding_hash = locked.netlist.compile().content_hash()
+        encoding_hash = _encoding_identity(locked, opt)
         if runner is None:
             import multiprocessing
 
@@ -471,6 +526,7 @@ def sharded_multikey_attack(
                 attack_params=attack_params,
                 seed=seed,
                 solver=solver,
+                opt=opt,
             )
             for chunk in chunks
         ]

@@ -136,6 +136,10 @@ class Solver:
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
+        # Outstanding checkpoint marks, oldest first.  While any frame
+        # is open, simplify() must not compact the clause list (marks
+        # snapshot its length), so it switches to in-place deletion.
+        self._frames: list[tuple[int, int]] = []
 
         self._var_inc = 1.0
         # Glucose-style decay ramp: start aggressive (0.80) so early
@@ -263,9 +267,15 @@ class Solver:
         constant-propagates the pins through the shared logic before
         the DIP loop starts paying for them on every conflict.
 
-        Must not be called while a :meth:`checkpoint` mark is
-        outstanding: marks snapshot the clause-list *length*, which
-        this method shrinks.  Returns ``False`` if the formula is
+        Safe inside :meth:`checkpoint` frames: marks snapshot the
+        clause-list *length*, so while any frame is outstanding the
+        shed clauses are flagged ``deleted`` in place (propagation and
+        export skip them lazily) instead of compacting the list; the
+        next frame-free call compacts for real.  Level-0 facts are
+        implied by the formula itself — unit learnts are derived by
+        resolution, never from assumptions, which live on decision
+        levels — so shedding against them stays sound across
+        :meth:`rollback`.  Returns ``False`` if the formula is
         unsatisfiable at the root.
         """
         if not self._ok:
@@ -275,15 +285,27 @@ class Solver:
             self._ok = False
             return False
         litval = self._litval
-        for store in (self._clauses, self._learnts):
+        # Marks snapshot len(self._clauses) only; the learnt store is
+        # filtered by variable on rollback, so it may always compact.
+        stores = (
+            (self._clauses, bool(self._frames)),
+            (self._learnts, False),
+        )
+        for store, in_frame in stores:
             kept: list[_Clause] = []
             for clause in store:
+                if clause.deleted:
+                    if in_frame:
+                        kept.append(clause)  # hold the list length
+                    continue
                 lits = clause.lits
                 if any(litval[lit] == 1 for lit in lits):
                     # Satisfied at root: watch lists skip it lazily.
                     clause.deleted = True
                     if clause.learnt:
                         self.stats.removed += 1
+                    if in_frame:
+                        kept.append(clause)
                     continue
                 if any(litval[lit] == -1 for lit in lits):
                     # At a root fixpoint both watched literals of an
@@ -314,7 +336,9 @@ class Solver:
         circuit-structure learning carries over warm.
         """
         self._cancel_until(0)
-        return (self._nvars, len(self._clauses))
+        mark = (self._nvars, len(self._clauses))
+        self._frames.append(mark)
+        return mark
 
     def rollback(self, mark: tuple[int, int]) -> None:
         """Discard all variables and clauses added after ``mark``.
@@ -331,6 +355,10 @@ class Solver:
         if nvars > self._nvars or nclauses > len(self._clauses):
             raise ValueError("rollback mark is from the future")
         self._cancel_until(0)
+        # Close this frame and any nested inside it (marks are
+        # monotone, so later frames compare >= component-wise).
+        while self._frames and self._frames[-1] >= mark:
+            self._frames.pop()
         for clause in self._clauses[nclauses:]:
             clause.deleted = True
         del self._clauses[nclauses:]

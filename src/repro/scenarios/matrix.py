@@ -67,6 +67,8 @@ class ScenarioCell:
     area_overhead: float | None = None
     # Default covers payloads recorded before the backend registry.
     solver: str = "python"
+    # Default covers payloads recorded before the optimization lever.
+    opt: str = "off"
 
 
 @register_task("scenario_cell")
@@ -75,6 +77,7 @@ def _scenario_cell_task(params: dict) -> dict:
     seed = params["seed"]
     effort = params["effort"]
     solver = params.get("solver")
+    opt = params.get("opt", "off")
     time_limit = params.get("time_limit_per_task")
     original = resolve_circuit(params["circuit"], params["scale"])
     scheme_params = dict(params.get("scheme_params") or {})
@@ -92,6 +95,7 @@ def _scenario_cell_task(params: dict) -> dict:
             time_limit_per_task=time_limit,
             seed=seed,
             solver=solver,
+            opt=opt,
         )
         baseline_seconds = baseline.max_subtask_seconds
         baseline_status = baseline.status
@@ -110,6 +114,7 @@ def _scenario_cell_task(params: dict) -> dict:
         attack=params["attack"],
         attack_params=params.get("attack_params") or {},
         solver=solver,
+        opt=opt,
     )
     if baseline_seconds is not None:
         ratio = attack.max_subtask_seconds / max(baseline_seconds, 1e-9)
@@ -176,6 +181,7 @@ def _scenario_cell_task(params: dict) -> dict:
             gate_reduction=gate_reduction,
             area_overhead=area_overhead,
             solver=attack.solver,
+            opt=opt,
         )
     )
 
@@ -191,6 +197,7 @@ def scenario_cell_task(
     effort: int,
     seed: int,
     solver: str | None = None,
+    opt: str | None = None,
     time_limit_per_task: float | None = None,
     max_dips_per_task: int | None = None,
     include_baseline: bool = False,
@@ -202,11 +209,14 @@ def scenario_cell_task(
     """The :class:`TaskSpec` for one matrix cell.
 
     Everything that determines the artifact — scheme, attack, engine,
-    solver backend, circuit, budgets, the optional measurement blocks —
-    is hashed (different backends may return different, equally valid,
-    keys); inner-attack parallelism lives in the unhashed execution
-    context, so serial and fanned-out evaluations share cache entries.
+    solver backend, optimization level, circuit, budgets, the optional
+    measurement blocks — is hashed (different backends may return
+    different, equally valid, keys, and the opt level changes the
+    encoding a cell attacks); inner-attack parallelism lives in the
+    unhashed execution context, so serial and fanned-out evaluations
+    share cache entries.
     """
+    from repro.circuit.opt import resolve_opt
     from repro.sat.registry import resolve_solver_name
 
     return TaskSpec(
@@ -222,6 +232,7 @@ def scenario_cell_task(
             "effort": effort,
             "seed": seed,
             "solver": resolve_solver_name(solver),
+            "opt": resolve_opt(opt),
             "time_limit_per_task": time_limit_per_task,
             "max_dips_per_task": max_dips_per_task,
             "include_baseline": include_baseline,
@@ -236,7 +247,8 @@ def scenario_cell_task(
 #: Flat CSV column order (list/dict fields serialize as canonical JSON).
 _CSV_COLUMNS = [
     "scheme", "scheme_params", "attack", "attack_params", "engine",
-    "engine_used", "solver", "circuit", "scale", "effort", "seed", "status",
+    "engine_used", "solver", "opt", "circuit", "scale", "effort", "seed",
+    "status",
     "key_size", "gates", "max_dips", "uniform", "dips_per_task",
     "oracle_queries", "min_seconds", "mean_seconds", "max_seconds",
     "wall_seconds", "encode_seconds", "baseline_seconds",

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
 from repro.attacks.registry import attack_info
+from repro.circuit.opt import resolve_opt
 from repro.locking.registry import scheme_info
 from repro.runner import TaskSpec
 from repro.sat.registry import resolve_solver_name, solver_info
@@ -66,6 +67,11 @@ class ScenarioSpec:
         solver: Registered solver backend for every cell (``None`` ->
             the process default, resolved to a concrete name at
             construction so cells hash the backend that actually runs).
+        opt: Structural optimization level for every cell's attack
+            (``None`` -> the process default; see
+            :mod:`repro.circuit.opt`).  Resolved at construction like
+            ``solver``, so ``"auto"`` hashes as the concrete level it
+            runs at.
         time_limit_per_task / max_dips_per_task: Sub-attack budgets.
         include_baseline: Also run the ``N = 0`` exact-SAT baseline
             per cell and report the max-subtask/baseline ratio
@@ -94,6 +100,7 @@ class ScenarioSpec:
     efforts: Sequence[int] = (1,)
     seeds: Sequence[int] = (0,)
     solver: str | None = None
+    opt: str | None = None
     time_limit_per_task: float | None = None
     max_dips_per_task: int | None = None
     include_baseline: bool = False
@@ -108,6 +115,7 @@ class ScenarioSpec:
         self.efforts = [int(n) for n in self.efforts]
         self.seeds = [int(s) for s in self.seeds]
         self.solver = resolve_solver_name(self.solver)
+        self.opt = resolve_opt(self.opt)
         self.validate()
 
     def validate(self) -> None:
@@ -180,6 +188,7 @@ class ScenarioSpec:
                 effort=effort,
                 seed=seed,
                 solver=self.solver,
+                opt=self.opt,
                 time_limit_per_task=self.time_limit_per_task,
                 max_dips_per_task=self.max_dips_per_task,
                 include_baseline=self.include_baseline,
@@ -204,7 +213,7 @@ class ScenarioSpec:
         """
         known = {
             "schemes", "attacks", "engines", "circuits", "scale",
-            "efforts", "seeds", "solver", "time_limit_per_task",
+            "efforts", "seeds", "solver", "opt", "time_limit_per_task",
             "max_dips_per_task", "include_baseline",
             "verify_composition", "measure_resistance",
         }
@@ -221,6 +230,7 @@ class ScenarioSpec:
             "efforts": list(self.efforts),
             "seeds": list(self.seeds),
             "solver": self.solver,
+            "opt": self.opt,
             "time_limit_per_task": self.time_limit_per_task,
             "max_dips_per_task": self.max_dips_per_task,
             "include_baseline": self.include_baseline,

@@ -95,6 +95,7 @@ class MatrixRequest:
     efforts: list = field(default_factory=lambda: [1])
     seeds: list = field(default_factory=lambda: [0])
     solver: str | None = None
+    opt: str | None = None
     time_limit_per_task: float | None = None
     max_dips_per_task: int | None = None
     include_baseline: bool = False
@@ -128,6 +129,7 @@ class MatrixRequest:
             efforts=self.efforts,
             seeds=self.seeds,
             solver=self.solver,
+            opt=self.opt,
             time_limit_per_task=self.time_limit_per_task,
             max_dips_per_task=self.max_dips_per_task,
             include_baseline=self.include_baseline,
@@ -159,11 +161,13 @@ class AttackRequest:
     scale: float = 0.25
     seed: int = 0
     solver: str | None = None
+    opt: str | None = None
     time_limit_per_task: float | None = None
     parallel: bool = False
 
     def __post_init__(self) -> None:
         from repro.attacks.registry import attack_info
+        from repro.circuit.opt import resolve_opt
         from repro.locking.registry import scheme_info
         from repro.sat.registry import solver_info
 
@@ -171,6 +175,8 @@ class AttackRequest:
         attack_info(self.attack)
         if self.solver is not None:
             solver_info(self.solver)  # raises with the roster on a miss
+        if self.opt is not None:
+            resolve_opt(self.opt)  # raises with the roster on a miss
         if self.engine not in ENGINES:
             known = ", ".join(ENGINES)
             raise EnvelopeError(

@@ -550,6 +550,7 @@ def _execute_attack(service: Service, job: Job) -> tuple[dict, str]:
         attack=request.attack,
         attack_params=request.attack_params,
         solver=request.solver,
+        opt=request.opt,
         runner=runner,
     )
 

@@ -339,6 +339,73 @@ class TestCheckpointRollback:
             s.rollback((mark[0] + 1, mark[1]))
 
 
+class TestSimplifyInFrames:
+    """Frame-safe simplify: shed in place, compact when frame-free."""
+
+    def test_in_frame_simplify_holds_clause_indices(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 3])
+        mark = s.checkpoint()
+        g = s.new_var()
+        s.add_clause([-g, 2])
+        s.add_clause([1])  # root unit: satisfies [1,2], strips [-1,3]
+        stored = len(s._clauses)
+        assert s.simplify()
+        # The checkpoint mark snapshots the clause-list length, so an
+        # in-frame simplify may only flag, never compact.
+        assert len(s._clauses) == stored
+        assert any(clause.deleted for clause in s._clauses)
+        # The guarded clause still works under its assumption.
+        assert s.solve(assumptions=[g])
+        assert s.model_value(2) is True
+        s.rollback(mark)
+        assert s.solve()
+        assert s.model_value(1) is True
+        assert s.model_value(3) is True
+
+    def test_frame_free_simplify_compacts(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 3])
+        s.add_clause([1])
+        before = len(s._clauses)
+        assert s.simplify()
+        assert len(s._clauses) < before  # satisfied clauses really gone
+        assert all(not clause.deleted for clause in s._clauses)
+        assert s.solve()
+        assert s.model_value(3) is True
+
+    def test_flagged_clauses_compact_after_rollback(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        mark = s.checkpoint()
+        s.add_clause([1])
+        assert s.simplify()  # flags [1,2] in place
+        s.rollback(mark)
+        assert s.simplify()  # frame-free: compacts the flagged clause
+        assert all(not clause.deleted for clause in s._clauses)
+        assert s.solve()
+        assert s.model_value(1) is True
+
+    def test_repeated_shard_style_frames_stay_sound(self):
+        """The ShardEngine access pattern: frame, guard, simplify, roll."""
+        from repro.sat.random_cnf import random_ksat
+
+        cnf = random_ksat(30, 120, seed=6)
+        solver = cnf.to_solver()
+        baseline = solver.solve()
+        for round_ in range(4):
+            mark = solver.checkpoint()
+            guard = solver.new_var()
+            assert solver.simplify()
+            solver.add_clause([-guard, 1 if round_ % 2 else -1])
+            solver.solve(assumptions=[guard])
+            solver.rollback(mark)
+        assert solver.simplify()
+        assert solver.solve() == baseline
+
+
 class TestClauseExchange:
     def test_export_import_roundtrip(self):
         from repro.sat.random_cnf import random_ksat

@@ -8,11 +8,13 @@ run the plain tier-1 suite.
 import doctest
 
 import repro.circuit.compiled
+import repro.circuit.opt
 import repro.core.sharded
 import repro.oracle.oracle
 
 _DOCTEST_MODULES = (
     repro.circuit.compiled,
+    repro.circuit.opt,
     repro.oracle.oracle,
     repro.core.sharded,
 )
