@@ -19,7 +19,6 @@ per-sub-space strategy of the multi-key attack.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from collections.abc import Mapping
@@ -28,6 +27,7 @@ from repro.attacks.sat_attack import sat_attack
 from repro.circuit.simulator import random_stimuli_words
 from repro.locking.base import LockedCircuit, key_to_int
 from repro.oracle.oracle import Oracle
+from repro.rng import make_rng
 
 
 @dataclass
@@ -86,7 +86,9 @@ def appsat_attack(
     """
     start = time.perf_counter()
     pin = dict(pin or {})
-    rng = random.Random(seed)
+    # make_rng's bare-int passthrough keeps the historical query
+    # streams bit-for-bit (see repro.rng's migration contract).
+    rng = make_rng(seed)
     checkpoints: list[float] = []
     total_dips = 0
     random_queries = 0

@@ -273,9 +273,9 @@ def keyed_match_plane(
     shape of :func:`array_multiplier`, whose deep carry chains are the
     big-int path's best case.
     """
-    import random
+    from repro.rng import make_rng
 
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     netlist = Netlist(name or f"match{terms}x{taps}")
     x = _inputs(netlist, "x", bus)
     k = _inputs(netlist, "k", bus)

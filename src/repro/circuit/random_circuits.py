@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import random
-
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Netlist
+from repro.rng import make_rng
 
 _RANDOM_TYPES = [
     GateType.AND,
@@ -36,7 +35,7 @@ def random_netlist(
         raise ValueError("need at least one input")
     if num_gates < 1:
         raise ValueError("need at least one gate")
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     netlist = Netlist(name=f"random_{num_inputs}x{num_gates}_s{seed}")
     nets = [netlist.add_input(f"pi{i}") for i in range(num_inputs)]
 

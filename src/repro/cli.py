@@ -17,8 +17,14 @@ daemon.  Subcommands map one-to-one onto request envelopes::
     repro-lock matrix --schemes sarlock,xor --attacks sat,appsat \
         --engines sharded,reference --circuits c432 --efforts 1,2
     repro-lock matrix --circuits real_c432 --lanes numpy   # real corpus
+    repro-lock matrix --metrics corruption,subspace --key-samples 64 \
+        --csv out.csv                          # corruption metric columns
     repro-lock matrix --list-schemes           # registry rosters
     repro-lock matrix --list-attacks
+    repro-lock matrix --list-metrics
+    repro-lock matrix --list-circuits
+    repro-lock metrics --circuit c432 --scheme sarlock --key-size 8 -N 2
+    repro-lock figure2 --circuit c432 --key-size 6 --efforts 0,1,2,3
     repro-lock bench --circuit c7552 --scale 0.3 --out c7552.bench
     repro-lock bench --circuit real_c880 --out real_c880.bench
     repro-lock serve                           # JSON-lines daemon (stdio)
@@ -293,11 +299,42 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0 if response.status == "ok" else 1
 
 
+def _print_circuits() -> None:
+    """The `matrix --list-circuits` roster: corpus entries + stand-ins.
+
+    Corpus rows print the parsed ``.bench`` fingerprint; stand-in rows
+    print the ISCAS-85 reference profile the generator targets at
+    scale 1.0 (the built netlist scales with ``--scale``).
+    """
+    from repro.bench_circuits.corpus import corpus_entry, corpus_names
+    from repro.bench_circuits.iscas85 import ISCAS85_PROFILES
+
+    print("registered corpus circuits (.bench files):")
+    names = corpus_names()
+    if not names:
+        print("  (none registered)")
+    for name in names:
+        entry = corpus_entry(name)
+        print(
+            f"  {name}: {entry.num_inputs} PI, {entry.num_outputs} PO, "
+            f"{entry.num_gates} gates"
+        )
+    print("stand-in generators (ISCAS-85 class, sized by --scale):")
+    print("  c17: 5 PI, 2 PO, 6 gates (exact)")
+    for name in sorted(ISCAS85_PROFILES):
+        profile = ISCAS85_PROFILES[name]
+        print(
+            f"  {name}: {profile['pi']} PI, {profile['po']} PO, "
+            f"~{profile['gates']} gates at scale 1.0"
+        )
+
+
 def _cmd_matrix(args: argparse.Namespace) -> int:
     from repro.attacks.registry import attack_info, registered_attacks
     from repro.locking.registry import registered_schemes, scheme_info
 
-    if args.list_schemes or args.list_attacks or args.list_solvers:
+    if (args.list_schemes or args.list_attacks or args.list_solvers
+            or args.list_metrics or args.list_circuits):
         if args.list_schemes:
             print("registered locking schemes:")
             for name in registered_schemes():
@@ -320,6 +357,14 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                     if on
                 )
                 print(f"  {name}: {info.description} [{caps or 'none'}]")
+        if args.list_metrics:
+            from repro.metrics import metric_info, registered_metrics
+
+            print("registered corruption metrics:")
+            for name in registered_metrics():
+                print(f"  {name}: {metric_info(name).description}")
+        if args.list_circuits:
+            _print_circuits()
         return 0
 
     from pathlib import Path
@@ -348,6 +393,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             max_dips_per_task=args.max_dips,
             include_baseline=args.baseline,
             verify_composition=args.verify,
+            metrics=_parse_str_list(args.metrics),
+            key_samples=args.key_samples,
+            metrics_seed=args.metrics_seed,
         )
     except ValueError as error:
         raise SystemExit(f"repro-lock: error: {error}")
@@ -368,6 +416,47 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     # runs catch partial/timeout cells and CEC failures, not just
     # crashes.
     return 0 if response.status == "ok" else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.service import MetricsRequest
+
+    if args.scheme == "lut":
+        scheme_params = {"spec": args.lut_spec}
+    else:
+        scheme_params = {"key_size": args.key_size}
+    try:
+        request = MetricsRequest(
+            circuit=args.circuit,
+            scheme=args.scheme,
+            scheme_params=scheme_params,
+            metrics=_parse_str_list(args.metrics),
+            key_samples=args.key_samples,
+            seed=args.seed,
+            metrics_seed=args.metrics_seed,
+            effort=args.effort,
+            scale=args.scale,
+            opt=args.opt,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro-lock: error: {error}")
+    _emit(args, _submit(args, request))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    request = _experiment_request(
+        "figure2",
+        circuit=args.circuit,
+        scheme=args.scheme,
+        key_size=args.key_size,
+        scale=args.scale,
+        efforts=_parse_int_list(args.efforts),
+        key_samples=args.key_samples,
+        seed=args.seed,
+    )
+    _emit(args, _submit(args, request))
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -601,6 +690,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="CEC the composed multi-key netlist for successful cells",
     )
     p.add_argument("--parallel", action="store_true")
+    p.add_argument(
+        "--metrics", default="",
+        help="comma-separated corruption metrics to attach per cell "
+             "(see --list-metrics; default: none)",
+    )
+    p.add_argument(
+        "--key-samples", type=int, default=64,
+        help="wrong keys sampled per metric cell (0 = exhaustive; "
+             "default: 64)",
+    )
+    p.add_argument(
+        "--metrics-seed", type=int, default=None,
+        help="sample-stream seed for metric cells (default: each "
+             "cell's own seed)",
+    )
     p.add_argument("--csv", default="", help="write cells as CSV to this path")
     p.add_argument("--json", default="", help="write cells as JSON to this path")
     p.add_argument(
@@ -615,9 +719,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-solvers", action="store_true",
         help="print the SAT solver-backend registry and exit",
     )
+    p.add_argument(
+        "--list-metrics", action="store_true",
+        help="print the corruption-metric registry and exit",
+    )
+    p.add_argument(
+        "--list-circuits", action="store_true",
+        help="print every resolvable circuit (corpus + stand-ins) and exit",
+    )
     _add_runner_args(p)
     _add_envelope_arg(p, alias_json=False)
     p.set_defaults(func=_cmd_matrix)
+
+    p = sub.add_parser(
+        "metrics",
+        help="evaluate corruption metrics for one locked circuit",
+    )
+    p.add_argument("--circuit", default="c432")
+    p.add_argument(
+        "--scheme", default="sarlock",
+        help="registered scheme name (see matrix --list-schemes)",
+    )
+    p.add_argument(
+        "--metrics", default="corruption,bit_flip,avalanche,subspace",
+        help="comma-separated registered metrics (see matrix "
+             "--list-metrics; default: all core metrics)",
+    )
+    p.add_argument("--key-size", type=int, default=8)
+    p.add_argument(
+        "--lut-spec", choices=("tiny", "small", "paper"), default="small",
+        help="LUT module preset for --scheme lut (default: small)",
+    )
+    p.add_argument(
+        "--key-samples", type=int, default=64,
+        help="wrong keys to sample (0 = exhaustive; default: 64)",
+    )
+    p.add_argument("-N", "--effort", type=int, default=0,
+                   help="splitting effort for the subspace metric (2^N "
+                        "sub-spaces; default: 0)")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--metrics-seed", type=int, default=None,
+        help="sample-stream seed (default: --seed)",
+    )
+    _add_runner_args(p)
+    _add_envelope_arg(p)
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "figure2",
+        help="regenerate Fig. 2 (corruption rate vs. key sub-spaces)",
+    )
+    p.add_argument("--circuit", default="c432")
+    p.add_argument(
+        "--scheme", default="sarlock",
+        help="registered scheme name (see matrix --list-schemes)",
+    )
+    p.add_argument("--key-size", type=int, default=6)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--efforts", default="0,1,2,3")
+    p.add_argument(
+        "--key-samples", type=int, default=32,
+        help="wrong keys to sample per point (0 = exhaustive; default: 32)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    _add_runner_args(p)
+    _add_envelope_arg(p)
+    p.set_defaults(func=_cmd_figure2)
 
     p = sub.add_parser("bench", help="emit an ISCAS-class stand-in as .bench")
     p.add_argument("--circuit", default="c7552")

@@ -8,6 +8,9 @@ Each module owns one artifact:
   LUT-based insertion, baseline vs 16 parallel sub-tasks),
 * :mod:`repro.experiments.figure1` — Fig. 1(a) error distribution and
   Fig. 1(b) multi-key MUX composition,
+* :mod:`repro.experiments.figure2` — corruption rate vs. number of
+  key sub-spaces (the confidentiality counterpart of Fig. 1, built on
+  :mod:`repro.metrics`),
 * :mod:`repro.experiments.ablation_splitting` — A1: splitting-input
   selection strategies,
 * :mod:`repro.experiments.ablation_synthesis` — A2: conditional-netlist
@@ -22,6 +25,7 @@ processes and reuse cached artifacts.
 
 from repro.experiments.defense import DefenseResult, run_defense_experiment
 from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Result, run_table2
 
@@ -32,6 +36,8 @@ __all__ = [
     "Table2Result",
     "run_figure1",
     "Figure1Result",
+    "run_figure2",
+    "Figure2Result",
     "run_defense_experiment",
     "DefenseResult",
 ]

@@ -1,0 +1,113 @@
+"""Shared deterministic randomness for samples, sweeps and workers.
+
+Every stochastic corner of the system — wrong-key samples in the
+metrics engine, AppSAT's random query batches, random-circuit
+generation, the load generator's work shuffle — funnels through this
+module so the same logical experiment draws the same stream no matter
+which process, worker or engine executes it.
+
+The core primitive is :func:`derive_seed`: a pure function from an
+arbitrary tuple of labels/ints to a 63-bit seed.  Two call sites that
+pass the same parts get the same stream; unrelated call sites stay
+decorrelated by construction (their labels differ), with no global
+counter or shared state to race on.
+
+Migration contract: a *bare non-negative int is already a seed* and
+passes through unchanged, so replacing ``random.Random(seed)`` with
+``make_rng(seed)`` preserves every historical stream bit-for-bit.
+Hashing only kicks in for composite or non-int parts.
+
+::
+
+    >>> derive_seed(42)                    # bare int: identity
+    42
+    >>> derive_seed("metrics", 42) == derive_seed("metrics", 42)
+    True
+    >>> derive_seed("metrics", 42) == derive_seed("loadgen", 42)
+    False
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from collections.abc import Sequence
+
+__all__ = ["derive_seed", "make_rng", "sample_wrong_keys", "shuffled"]
+
+
+def derive_seed(*parts: object) -> int:
+    """Collapse labels/ints into a deterministic 63-bit seed.
+
+    A single bare non-negative int is returned unchanged (see the
+    module docstring's migration contract).  Anything else — strings,
+    multiple parts, negative ints, ``None`` — is canonical-JSON
+    encoded and SHA-256 hashed, so the mapping is stable across
+    processes, platforms and Python versions (no ``hash()``
+    randomization).
+    """
+    if not parts:
+        raise ValueError("derive_seed needs at least one part")
+    if len(parts) == 1 and isinstance(parts[0], int) and not isinstance(
+        parts[0], bool
+    ) and parts[0] >= 0:
+        return parts[0]
+    blob = json.dumps(parts, sort_keys=True, default=str).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def make_rng(*parts: object) -> random.Random:
+    """A :class:`random.Random` seeded by :func:`derive_seed`."""
+    return random.Random(derive_seed(*parts))
+
+
+def sample_wrong_keys(
+    key_size: int,
+    count: int,
+    correct_key: int,
+    *parts: object,
+) -> list[int]:
+    """Deterministic distinct wrong keys for a ``key_size``-bit lock.
+
+    Draws ``count`` keys distinct from each other and from
+    ``correct_key``, seeded by ``parts`` (defaulting to a stream
+    derived from ``key_size`` and ``correct_key``).  When ``count <=
+    0`` or the wrong-key space has at most ``count`` members, the full
+    space is returned in ascending order instead — small locks are
+    evaluated exhaustively rather than sampled.
+
+    ::
+
+        >>> sample_wrong_keys(2, 0, correct_key=0b10)
+        [0, 1, 3]
+        >>> keys = sample_wrong_keys(16, 8, correct_key=5)
+        >>> len(keys) == len(set(keys)) == 8 and 5 not in keys
+        True
+        >>> keys == sample_wrong_keys(16, 8, correct_key=5)
+        True
+    """
+    if key_size < 1:
+        raise ValueError("key_size must be positive")
+    space = 1 << key_size
+    if correct_key < 0 or correct_key >= space:
+        raise ValueError(f"correct key {correct_key} does not fit in {key_size} bits")
+    if count <= 0 or space - 1 <= count:
+        return [k for k in range(space) if k != correct_key]
+    rng = make_rng(*parts) if parts else make_rng("wrong-keys", key_size, correct_key)
+    seen = {correct_key}
+    keys: list[int] = []
+    while len(keys) < count:
+        candidate = rng.getrandbits(key_size)
+        if candidate not in seen:
+            seen.add(candidate)
+            keys.append(candidate)
+    return keys
+
+
+def shuffled(items: Sequence, *parts: object) -> list:
+    """A deterministically shuffled copy of ``items``."""
+    copy = list(items)
+    make_rng(*parts).shuffle(copy)
+    return copy

@@ -22,7 +22,7 @@ from repro.bench_circuits.corpus import resolve_circuit
 from repro.core.compose import verify_composition
 from repro.core.multikey import multikey_attack
 from repro.locking.registry import lock_circuit
-from repro.runner import Runner, TaskSpec, register_task
+from repro.runner import Runner, TaskSpec, canonical_json, register_task
 from repro.scenarios.spec import ScenarioSpec
 
 
@@ -69,6 +69,13 @@ class ScenarioCell:
     solver: str = "python"
     # Default covers payloads recorded before the optimization lever.
     opt: str = "off"
+    # Defaults cover payloads recorded before the metrics subsystem.
+    # ``metrics`` maps metric name -> headline value; the detail blocks
+    # keep the full per-key/per-output material for downstream plots.
+    metrics: dict | None = None
+    metrics_detail: dict | None = None
+    key_samples: int | None = None
+    metrics_seed: int | None = None
 
 
 @register_task("scenario_cell")
@@ -288,31 +295,34 @@ class MatrixResult:
         # the table drivers, which are themselves built on this module.
         from repro.experiments.report import format_table, seconds
 
+        metric_names = list(self.spec.metrics)
         headers = [
             "Scheme", "|K|", "Attack", "Engine", "Circuit", "N",
             "Status", "max #DIP", "max t", "CEC",
-        ]
+        ] + metric_names
         rows = []
         for cell in self.cells:
             engine = cell.engine_used
             if cell.engine != cell.engine_used:
                 engine = f"{cell.engine}->{cell.engine_used}"
-            rows.append(
-                [
-                    cell.scheme,
-                    cell.key_size,
-                    cell.attack,
-                    engine,
-                    cell.circuit,
-                    cell.effort,
-                    cell.status,
-                    cell.max_dips,
-                    seconds(cell.max_seconds),
-                    {True: "pass", False: "FAIL", None: "-"}[
-                        cell.composition_equivalent
-                    ],
-                ]
-            )
+            row = [
+                cell.scheme,
+                cell.key_size,
+                cell.attack,
+                engine,
+                cell.circuit,
+                cell.effort,
+                cell.status,
+                cell.max_dips,
+                seconds(cell.max_seconds),
+                {True: "pass", False: "FAIL", None: "-"}[
+                    cell.composition_equivalent
+                ],
+            ]
+            for name in metric_names:
+                value = (cell.metrics or {}).get(name)
+                row.append("-" if value is None else f"{value:.4g}")
+            rows.append(row)
         title = (
             f"Scenario matrix: {len(self.cells)} cells "
             f"(scale={self.spec.scale})"
@@ -343,21 +353,71 @@ class MatrixResult:
         """The full matrix as JSON (spec summary + every cell)."""
         return json.dumps(self.to_payload(), indent=2) + "\n"
 
+    def csv_columns(self) -> list[str]:
+        """The CSV header: fixed columns plus one per requested metric.
+
+        Metric columns appear only when the spec asked for metrics, in
+        the spec's roster order, so metric-free exports stay byte-
+        compatible with earlier format versions.
+        """
+        columns = list(_CSV_COLUMNS)
+        if self.spec.metrics:
+            columns += ["key_samples", "metrics_seed"]
+            columns += [f"metric_{name}" for name in self.spec.metrics]
+        return columns
+
     def to_csv(self) -> str:
         """The matrix as flat CSV (one row per cell)."""
         buffer = io.StringIO()
         writer = csv.writer(buffer)
-        writer.writerow(_CSV_COLUMNS)
+        columns = self.csv_columns()
+        writer.writerow(columns)
         for cell in self.cells:
             record = asdict(cell)
             row = []
-            for column in _CSV_COLUMNS:
-                value = record[column]
+            for column in columns:
+                if column.startswith("metric_"):
+                    value = (record["metrics"] or {}).get(column[len("metric_"):])
+                else:
+                    value = record[column]
                 if isinstance(value, (dict, list)):
                     value = json.dumps(value, sort_keys=True)
                 row.append(value)
             writer.writerow(row)
         return buffer.getvalue()
+
+
+def _metric_point(scheme: str, scheme_params: dict, circuit: str,
+                  effort: int, seed: int) -> tuple:
+    """The grid-point key metric reports attach on (axis projection)."""
+    return (scheme, canonical_json(scheme_params or {}), circuit, effort, seed)
+
+
+def attach_metrics(result: MatrixResult, reports: dict[tuple, dict]) -> None:
+    """Merge ``corruption_cell`` artifacts into their grid cells.
+
+    ``reports`` is keyed by :func:`_metric_point`; every attack/engine
+    cell at a grid point receives the point's single metric report —
+    the dedup that makes metrics an axis *annotation*, not an axis
+    multiplier.
+    """
+    for cell in result.cells:
+        report = reports.get(
+            _metric_point(
+                cell.scheme, cell.scheme_params, cell.circuit,
+                cell.effort, cell.seed,
+            )
+        )
+        if report is None:
+            continue
+        cell.metrics = {
+            name: block["value"] for name, block in report["metrics"].items()
+        }
+        cell.metrics_detail = {
+            name: block["detail"] for name, block in report["metrics"].items()
+        }
+        cell.key_samples = report["key_samples"]
+        cell.metrics_seed = report["seed"]
 
 
 def run_matrix(
@@ -372,6 +432,10 @@ def run_matrix(
     will actually fan cells out, otherwise inside each cell's ``2^N``
     sub-attacks (``inner_parallel=True``).  Context is unhashed, so
     flipping it is cache-safe.
+
+    When the spec requests metrics, the deduplicated
+    ``corruption_cell`` tasks ride the same runner submission (same
+    pool, same cache) and their values land on every matching cell.
     """
     runner = runner or Runner()
     specs = spec.expand()
@@ -386,6 +450,17 @@ def run_matrix(
             for task in specs
         ]
     result = MatrixResult(spec=spec)
-    for task in runner.run(specs):
-        result.cells.append(ScenarioCell(**task.artifact))
+    reports: dict[tuple, dict] = {}
+    for task in runner.run(specs + spec.expand_metrics()):
+        if task.spec.kind == "corruption_cell":
+            params = task.spec.params
+            reports[
+                _metric_point(
+                    params["scheme"], params["scheme_params"],
+                    params["circuit"], params["effort"], params["seed"],
+                )
+            ] = task.artifact
+        else:
+            result.cells.append(ScenarioCell(**task.artifact))
+    attach_metrics(result, reports)
     return result

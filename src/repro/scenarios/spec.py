@@ -83,6 +83,15 @@ class ScenarioSpec:
         measure_resistance: Measure the defense levers per cell
             (BDD-exact sub-space key count, conditional shrink, area
             overhead) — the D1 experiment's columns.
+        metrics: Corruption-metric roster (registry names from
+            :mod:`repro.metrics`); empty means no metric columns.
+            Metric cells are keyed by (scheme, circuit, effort, seed)
+            only, so the attack/engine/solver axes share one
+            ``corruption_cell`` task per point.
+        key_samples: Wrong keys sampled per metric cell (``0`` =
+            exhaustive); hashed into metric-cell identity.
+        metrics_seed: Sample-stream seed for metric cells (``None`` ->
+            each cell's own seed); the resolved value is hashed.
 
     ``expand()`` is deterministic: cells enumerate in axis order
     scheme -> attack -> engine -> circuit -> effort -> seed.  For an
@@ -106,6 +115,9 @@ class ScenarioSpec:
     include_baseline: bool = False
     verify_composition: bool = False
     measure_resistance: bool = False
+    metrics: Sequence[str] = ()
+    key_samples: int = 64
+    metrics_seed: int | None = None
 
     def __post_init__(self) -> None:
         self.schemes = [normalize_axis(entry) for entry in self.schemes]
@@ -116,6 +128,10 @@ class ScenarioSpec:
         self.seeds = [int(s) for s in self.seeds]
         self.solver = resolve_solver_name(self.solver)
         self.opt = resolve_opt(self.opt)
+        self.metrics = [str(name) for name in self.metrics]
+        self.key_samples = int(self.key_samples)
+        if self.metrics_seed is not None:
+            self.metrics_seed = int(self.metrics_seed)
         self.validate()
 
     def validate(self) -> None:
@@ -142,6 +158,13 @@ class ScenarioSpec:
         if not (self.schemes and self.attacks and self.engines
                 and self.circuits and self.efforts and self.seeds):
             raise ValueError("every ScenarioSpec axis needs at least one entry")
+        if self.metrics:
+            from repro.metrics import metric_info
+
+            for name in self.metrics:
+                metric_info(name)  # raises with the roster on a miss
+        if self.key_samples < 0:
+            raise ValueError("key_samples must be non-negative")
 
     def effective_engines(self, attack: str) -> list[str]:
         """The engine axis after resolving the cell's capabilities.
@@ -203,6 +226,56 @@ class ScenarioSpec:
             for seed in self.seeds
         ]
 
+    def expand_metrics(self) -> list[TaskSpec]:
+        """One ``corruption_cell`` task per (scheme, circuit, N, seed).
+
+        Metric values do not depend on the attack, engine or solver
+        axes — only on what was locked and how it is sampled — so the
+        metric grid is the scheme x circuit x effort x seed projection
+        of the full grid: every attack/engine/solver cell at a point
+        shares that point's single cached metric task.  Empty when the
+        spec requests no metrics.
+        """
+        if not self.metrics:
+            return []
+        from repro.metrics import corruption_cell_task
+
+        return [
+            corruption_cell_task(
+                scheme=scheme,
+                scheme_params=scheme_params,
+                circuit=circuit,
+                scale=self.scale,
+                effort=effort,
+                seed=seed,
+                metrics=self.metrics,
+                key_samples=self.key_samples,
+                metrics_seed=self.metrics_seed,
+                opt=self.opt,
+            )
+            for scheme, scheme_params in self.schemes
+            for circuit in self.circuits
+            for effort in self.efforts
+            for seed in self.seeds
+        ]
+
+    @property
+    def metrics_size(self) -> int:
+        """Number of metric cells (0 when no metrics are requested)."""
+        if not self.metrics:
+            return 0
+        return (
+            len(self.schemes)
+            * len(self.circuits)
+            * len(self.efforts)
+            * len(self.seeds)
+        )
+
+    @property
+    def total_tasks(self) -> int:
+        """Grid cells plus metric cells — the run's task count."""
+        return self.size + self.metrics_size
+
     @classmethod
     def from_payload(cls, payload: Mapping) -> "ScenarioSpec":
         """Rebuild a spec from :meth:`describe` output (or any superset).
@@ -216,6 +289,7 @@ class ScenarioSpec:
             "efforts", "seeds", "solver", "opt", "time_limit_per_task",
             "max_dips_per_task", "include_baseline",
             "verify_composition", "measure_resistance",
+            "metrics", "key_samples", "metrics_seed",
         }
         return cls(**{k: v for k, v in payload.items() if k in known})
 
@@ -236,5 +310,8 @@ class ScenarioSpec:
             "include_baseline": self.include_baseline,
             "verify_composition": self.verify_composition,
             "measure_resistance": self.measure_resistance,
+            "metrics": list(self.metrics),
+            "key_samples": self.key_samples,
+            "metrics_seed": self.metrics_seed,
             "size": self.size,
         }

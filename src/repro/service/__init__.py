@@ -49,6 +49,7 @@ from repro.service.envelopes import (
     EnvelopeError,
     ExperimentRequest,
     MatrixRequest,
+    MetricsRequest,
     Request,
     Response,
     from_dict,
@@ -74,6 +75,7 @@ __all__ = [
     "ExperimentRequest",
     "Job",
     "MatrixRequest",
+    "MetricsRequest",
     "QueueFullError",
     "Request",
     "Response",

@@ -41,6 +41,7 @@ RESPONSE_STATUSES = ("ok", "partial", "error", "cancelled")
 #: repro.service.jobs for how each maps onto its driver).
 EXPERIMENTS = (
     "figure1",
+    "figure2",
     "table1",
     "table2",
     "ablation_splitting",
@@ -59,11 +60,13 @@ def _experiment_driver(name: str):
     from repro.experiments.ablation_synthesis import run_synthesis_ablation
     from repro.experiments.defense import run_defense_experiment
     from repro.experiments.figure1 import run_figure1
+    from repro.experiments.figure2 import run_figure2
     from repro.experiments.table1 import run_table1
     from repro.experiments.table2 import run_table2
 
     drivers = {
         "figure1": run_figure1,
+        "figure2": run_figure2,
         "table1": run_table1,
         "table2": run_table2,
         "ablation_splitting": run_splitting_ablation,
@@ -101,6 +104,9 @@ class MatrixRequest:
     include_baseline: bool = False
     verify_composition: bool = False
     measure_resistance: bool = False
+    metrics: list = field(default_factory=list)
+    key_samples: int = 64
+    metrics_seed: int | None = None
 
     def __post_init__(self) -> None:
         self.schemes = [
@@ -116,6 +122,10 @@ class MatrixRequest:
         self.scale = float(self.scale)
         self.efforts = [int(n) for n in self.efforts]
         self.seeds = [int(s) for s in self.seeds]
+        self.metrics = [str(m) for m in self.metrics]
+        self.key_samples = int(self.key_samples)
+        if self.metrics_seed is not None:
+            self.metrics_seed = int(self.metrics_seed)
         self.to_spec()  # fail-fast: registry + axis validation
 
     def to_spec(self) -> ScenarioSpec:
@@ -135,6 +145,9 @@ class MatrixRequest:
             include_baseline=self.include_baseline,
             verify_composition=self.verify_composition,
             measure_resistance=self.measure_resistance,
+            metrics=self.metrics,
+            key_samples=self.key_samples,
+            metrics_seed=self.metrics_seed,
         )
 
 
@@ -187,6 +200,67 @@ class AttackRequest:
         self.effort = int(self.effort)
         self.seed = int(self.seed)
         self.scale = float(self.scale)
+        if self.effort < 0:
+            raise EnvelopeError("effort must be non-negative")
+        if self.scale <= 0:
+            raise EnvelopeError("scale must be positive")
+
+
+@dataclass
+class MetricsRequest:
+    """Evaluate corruption metrics for one locked circuit.
+
+    The service-level twin of the CLI ``metrics`` subcommand: lock
+    ``circuit`` with ``scheme`` and run the named registered metrics
+    (:mod:`repro.metrics`) over ``key_samples`` wrong keys.  ``seed``
+    feeds the scheme (unless ``scheme_params`` pins one);
+    ``metrics_seed`` feeds the sample streams and defaults to ``seed``.
+    ``effort`` is the splitting effort ``N`` the ``subspace`` metric
+    partitions on.  Metric and scheme names resolve against the live
+    registries at construction.
+    """
+
+    kind: ClassVar[str] = "metrics"
+
+    circuit: str = "c432"
+    scheme: str = "sarlock"
+    scheme_params: dict = field(default_factory=dict)
+    metrics: list = field(default_factory=lambda: ["corruption"])
+    key_samples: int = 64
+    seed: int = 0
+    metrics_seed: int | None = None
+    effort: int = 0
+    scale: float = 0.25
+    opt: str | None = None
+
+    def __post_init__(self) -> None:
+        from repro.bench_circuits.corpus import circuit_names, known_circuit
+        from repro.circuit.opt import resolve_opt
+        from repro.locking.registry import scheme_info
+        from repro.metrics import metric_info
+
+        scheme_info(self.scheme)
+        self.metrics = [str(m) for m in self.metrics]
+        if not self.metrics:
+            raise EnvelopeError("metrics request needs at least one metric")
+        for name in self.metrics:
+            metric_info(name)  # raises with the roster on a miss
+        if not known_circuit(self.circuit):
+            raise EnvelopeError(
+                f"unknown circuit {self.circuit!r} (known: "
+                f"{', '.join(circuit_names())})"
+            )
+        if self.opt is not None:
+            resolve_opt(self.opt)  # raises with the roster on a miss
+        self.scheme_params = dict(self.scheme_params)
+        self.key_samples = int(self.key_samples)
+        self.seed = int(self.seed)
+        if self.metrics_seed is not None:
+            self.metrics_seed = int(self.metrics_seed)
+        self.effort = int(self.effort)
+        self.scale = float(self.scale)
+        if self.key_samples < 0:
+            raise EnvelopeError("key_samples must be non-negative")
         if self.effort < 0:
             raise EnvelopeError("effort must be non-negative")
         if self.scale <= 0:
@@ -284,6 +358,7 @@ class Response:
 REQUEST_KINDS = {
     MatrixRequest.kind: MatrixRequest,
     AttackRequest.kind: AttackRequest,
+    MetricsRequest.kind: MetricsRequest,
     ExperimentRequest.kind: ExperimentRequest,
     BenchRequest.kind: BenchRequest,
 }
@@ -291,7 +366,13 @@ REQUEST_KINDS = {
 _ENVELOPE_KINDS = {**REQUEST_KINDS, Response.kind: Response}
 
 #: Union type for documentation purposes.
-Request = MatrixRequest | AttackRequest | ExperimentRequest | BenchRequest
+Request = (
+    MatrixRequest
+    | AttackRequest
+    | MetricsRequest
+    | ExperimentRequest
+    | BenchRequest
+)
 
 
 def to_dict(envelope) -> dict:

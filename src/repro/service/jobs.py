@@ -37,6 +37,7 @@ from repro.service.envelopes import (
     EnvelopeError,
     ExperimentRequest,
     MatrixRequest,
+    MetricsRequest,
     Response,
     _experiment_driver,
 )
@@ -445,7 +446,7 @@ def _execute_matrix(service: Service, job: Job) -> tuple[dict, str]:
     request: MatrixRequest = job.request
     spec = request.to_spec()
     job.emit(
-        "job_started", {"kind": request.kind, "total": spec.size}
+        "job_started", {"kind": request.kind, "total": spec.total_tasks}
     )
     result = run_matrix(
         spec,
@@ -573,6 +574,37 @@ def _execute_attack(service: Service, job: Job) -> tuple[dict, str]:
     return payload, result.status
 
 
+def _execute_metrics(service: Service, job: Job) -> tuple[dict, str]:
+    from repro.metrics import corruption_cell_task
+
+    request: MetricsRequest = job.request
+    job.emit(
+        "job_started",
+        {
+            "kind": request.kind,
+            "scheme": request.scheme,
+            "metrics": list(request.metrics),
+            "total": 1,
+        },
+    )
+    task = corruption_cell_task(
+        scheme=request.scheme,
+        scheme_params=request.scheme_params,
+        circuit=request.circuit,
+        scale=request.scale,
+        effort=request.effort,
+        seed=request.seed,
+        metrics=request.metrics,
+        key_samples=request.key_samples,
+        metrics_seed=request.metrics_seed,
+        opt=request.opt,
+    )
+    results = service._runner_for(job).run([task])
+    if not results:
+        return {"completed": job.snapshot()["completed"]}, "cancelled"
+    return {"report": results[0].artifact}, "ok"
+
+
 def _execute_bench(service: Service, job: Job) -> tuple[dict, str]:
     from repro.bench_circuits.corpus import resolve_circuit
     from repro.circuit.bench import format_bench
@@ -587,5 +619,6 @@ _EXECUTORS = {
     MatrixRequest: _execute_matrix,
     ExperimentRequest: _execute_experiment,
     AttackRequest: _execute_attack,
+    MetricsRequest: _execute_metrics,
     BenchRequest: _execute_bench,
 }

@@ -40,6 +40,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.rng import shuffled
+
 #: Safety valve: give up on a request after this many 503 retries.
 DEFAULT_MAX_RETRIES = 200
 
@@ -327,6 +329,7 @@ def run_load(
     max_retries: int = DEFAULT_MAX_RETRIES,
     job_id_prefix: str = "load",
     log_line=None,
+    shuffle_seed: int | None = None,
 ) -> LoadReport:
     """Replay ``requests`` (x ``repeat``) from ``clients`` threads.
 
@@ -335,12 +338,19 @@ def run_load(
     together so the gateway sees one synchronized burst per run.  Job
     ids are unique per submission (``<prefix>-c<client>-<n>``), which
     is what makes lost/duplicated accounting exact.
+
+    ``shuffle_seed`` interleaves the work list deterministically
+    (:func:`repro.rng.shuffled`), so a storm does not hand each client
+    a scheme-major run of near-identical cells — same list, same seed,
+    same burst shape on every run.
     """
     work = [
         dict(request)
         for _ in range(max(1, repeat))
         for request in requests
     ]
+    if shuffle_seed is not None:
+        work = shuffled(work, "loadgen", job_id_prefix, shuffle_seed)
     per_client: list[list[tuple[int, dict]]] = [[] for _ in range(clients)]
     for index, request in enumerate(work):
         per_client[index % clients].append((index, request))
@@ -476,6 +486,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the summary JSON here")
     parser.add_argument("--event-log", default="",
                         help="write every streamed line here (JSONL)")
+    parser.add_argument("--shuffle-seed", type=int, default=0,
+                        help="deterministic storm interleave (default: 0)")
     args = parser.parse_args(argv)
 
     mix = matrix_mix(
@@ -514,6 +526,7 @@ def main(argv: list[str] | None = None) -> int:
             repeat=args.repeat,
             job_id_prefix="storm",
             log_line=log,
+            shuffle_seed=args.shuffle_seed,
         )
         assert_no_losses(storm)
         assert storm.cache_hit_rate == 1.0, (

@@ -64,6 +64,10 @@ def render_response(response: Response, verbose: bool = True) -> str:
         from repro.scenarios.matrix import MatrixResult
 
         return MatrixResult.from_payload(payload).format()
+    if response.request_kind == "metrics":
+        from repro.metrics import CorruptionReport
+
+        return CorruptionReport.from_payload(payload["report"]).format()
     if response.request_kind == "experiment":
         return _experiment_result(payload).format()
     if response.request_kind == "attack":
@@ -81,11 +85,13 @@ def _experiment_result(payload: dict):
     from repro.experiments.ablation_synthesis import SynthesisAblationResult
     from repro.experiments.defense import DefenseResult
     from repro.experiments.figure1 import Figure1Result
+    from repro.experiments.figure2 import Figure2Result
     from repro.experiments.table1 import Table1Result
     from repro.experiments.table2 import Table2Result
 
     result_types = {
         "figure1": Figure1Result,
+        "figure2": Figure2Result,
         "table1": Table1Result,
         "table2": Table2Result,
         "ablation_splitting": SplittingAblationResult,

@@ -1,0 +1,52 @@
+"""Metric registry semantics: roster, lookup errors, plug-in seam."""
+
+import pytest
+
+from repro.metrics import (
+    MetricValue,
+    metric_info,
+    register_metric,
+    registered_metrics,
+)
+from repro.metrics.registry import _METRICS
+
+
+class TestRoster:
+    def test_core_roster_is_registered(self):
+        names = registered_metrics()
+        for name in ("corruption", "bit_flip", "avalanche", "subspace"):
+            assert name in names
+        assert names == sorted(names)
+
+    def test_every_metric_has_a_description(self):
+        for name in registered_metrics():
+            assert metric_info(name).description
+
+    def test_unknown_metric_error_names_the_roster(self):
+        with pytest.raises(ValueError, match="corruption"):
+            metric_info("nope")
+
+
+class TestRegistration:
+    def test_duplicate_name_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_metric("corruption")
+            def clash(sweep):  # pragma: no cover - never called
+                return MetricValue(0.0, {})
+
+    def test_plugin_metric_round_trips(self):
+        @register_metric("test_only_width", description="sweep width")
+        def width_metric(sweep):
+            return MetricValue(float(sweep.width), {})
+
+        try:
+            info = metric_info("test_only_width")
+            assert info.fn is width_metric
+            assert info.description == "sweep width"
+        finally:
+            del _METRICS["test_only_width"]
+
+    def test_metric_value_is_frozen(self):
+        value = MetricValue(0.5, {"per_key": [0.5]})
+        with pytest.raises(AttributeError):
+            value.value = 1.0

@@ -10,13 +10,17 @@ import doctest
 import repro.circuit.compiled
 import repro.circuit.opt
 import repro.core.sharded
+import repro.metrics.engine
 import repro.oracle.oracle
+import repro.rng
 
 _DOCTEST_MODULES = (
     repro.circuit.compiled,
     repro.circuit.opt,
     repro.oracle.oracle,
     repro.core.sharded,
+    repro.metrics.engine,
+    repro.rng,
 )
 
 
